@@ -1,0 +1,101 @@
+/// \file bench_mapping_cost.cpp
+/// E6 — the paper's hardware-complexity claim (§II): the mapping rules
+/// "only consist of additions, logical shifts and bitwise operations,
+/// which enables a hardware implementation with low complexity."
+///
+/// Software proxy for that claim: google-benchmark timing of the address
+/// computation itself. The optimized mapping must stay within a small
+/// factor of the trivial row-major linearization (a few ns per address),
+/// i.e. nothing in it needs division trees, tables or iteration.
+#include <benchmark/benchmark.h>
+
+#include "dram/standards.hpp"
+#include "mapping/factory.hpp"
+
+namespace {
+
+using tbi::dram::find_config;
+
+constexpr std::uint64_t kSide = 383;  // paper geometry on 64 B bursts
+
+void BM_RowMajorMapping(benchmark::State& state) {
+  const auto& dev = *find_config("DDR4-3200");
+  const auto m = tbi::mapping::make_mapping("row-major", dev, kSide);
+  std::uint64_t i = 0, j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->map(i, j));
+    j = (j + 1) % (kSide - i);
+    if (j == 0) i = (i + 1) % kSide;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowMajorMapping);
+
+void BM_OptimizedMapping(benchmark::State& state) {
+  const auto& dev = *find_config("DDR4-3200");
+  const auto m = tbi::mapping::make_mapping("optimized", dev, kSide);
+  std::uint64_t i = 0, j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->map(i, j));
+    j = (j + 1) % (kSide - i);
+    if (j == 0) i = (i + 1) % kSide;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizedMapping);
+
+void BM_OptimizedMappingAllDevices(benchmark::State& state) {
+  const auto& dev = tbi::dram::standard_configs()[static_cast<std::size_t>(
+      state.range(0))];
+  const auto m = tbi::mapping::make_mapping("optimized", dev, kSide);
+  std::uint64_t i = 0, j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->map(i, j));
+    j = (j + 1) % (kSide - i);
+    if (j == 0) i = (i + 1) % kSide;
+  }
+  state.SetLabel(dev.name);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizedMappingAllDevices)->DenseRange(0, 9);
+
+void BM_OptimizedAblationVariants(benchmark::State& state) {
+  static const char* kSpecs[] = {"optimized/none", "optimized/diag",
+                                 "optimized/tile", "optimized/diag+tile",
+                                 "optimized"};
+  const char* spec = kSpecs[state.range(0)];
+  const auto& dev = *find_config("DDR4-3200");
+  const auto m = tbi::mapping::make_mapping(spec, dev, kSide);
+  std::uint64_t i = 0, j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->map(i, j));
+    j = (j + 1) % (kSide - i);
+    if (j == 0) i = (i + 1) % kSide;
+  }
+  state.SetLabel(spec);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizedAblationVariants)->DenseRange(0, 4);
+
+void BM_FullPhaseAddressGeneration(benchmark::State& state) {
+  // Amortized cost of generating a complete write-phase address stream —
+  // what a streaming hardware block would have to sustain per burst.
+  const auto& dev = *find_config("LPDDR5-8533");
+  const auto m = tbi::mapping::make_mapping("optimized", dev, 541);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < 541; ++i) {
+      for (std::uint64_t j = 0; j < 541 - i; ++j) {
+        const auto a = m->map(i, j);
+        acc += a.bank + a.row + a.column;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 146'611);
+}
+BENCHMARK(BM_FullPhaseAddressGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

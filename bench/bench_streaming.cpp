@@ -1,0 +1,67 @@
+/// \file bench_streaming.cpp
+/// Extension experiment (beyond the paper's separate-phase evaluation):
+/// continuous double-buffered operation — block k+1 is written while
+/// block k is read from a disjoint row region, requests interleaved 1:1.
+/// The paper argues min(write, read) bounds this mixed rate; here we
+/// measure the mixed rate directly, including the read/write bus
+/// turnaround penalties the separate phases never see, and compare it to
+/// that bound.
+///
+/// Usage: bench_streaming [--max-bursts M] [--markdown]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dram/standards.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  tbi::CliParser cli("bench_streaming",
+                     "continuous write+read operation vs the min(phase) bound");
+  cli.add_option("max-bursts", "count", "truncate each walk (default full)");
+  cli.add_option("markdown", "", "print GitHub markdown");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.has("help")) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  const auto max_bursts =
+      static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
+
+  tbi::TextTable t("Continuous operation (1:1 mixed write/read)");
+  t.set_header({"DRAM Configuration", "Mapping", "min(W,R) bound", "Streaming",
+                "Turnaround cost"});
+
+  for (const auto& device : tbi::dram::standard_configs()) {
+    for (const std::string spec : {"row-major", "optimized"}) {
+      tbi::sim::RunConfig rc;
+      rc.device = device;
+      rc.mapping_spec = spec;
+      rc.side = tbi::sim::paper_side_for(device);
+      rc.max_bursts_per_phase = max_bursts;
+
+      const auto phased = tbi::sim::run_interleaver(rc);
+      const auto streaming = tbi::sim::run_streaming(rc);
+      const double bound = phased.min_utilization();
+      const double mixed = streaming.stats.utilization();
+
+      t.add_row({spec == "row-major" ? device.name : "", spec,
+                 tbi::TextTable::pct(bound), tbi::TextTable::pct(mixed),
+                 tbi::TextTable::pct(std::max(0.0, bound - mixed))});
+    }
+  }
+  std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
+             stdout);
+  std::puts(
+      "\nTwo effects are visible: mixed traffic pays bus-turnaround and\n"
+      "write-to-read penalties (optimized mapping: a few %% below the\n"
+      "min(W,R) bound), while for the row-major mapping the fast write\n"
+      "stream can fill bubbles of the crippled read stream and lift the\n"
+      "mixed utilization above min(W,R) — without changing the verdict:\n"
+      "the optimized mapping sustains the higher block rate everywhere.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file bench_throughput.cpp
+/// E8 — the paper's framing of the problem (§I): the interleaver
+/// throughput is bounded by min(write, read) bandwidth, and a >100 Gbit/s
+/// optical downlink therefore needs either the optimized mapping or a
+/// heavily oversized DRAM configuration.
+///
+/// Prints the achievable interleaver throughput per device and mapping and
+/// flags which (device, mapping) pairs clear the 100 Gbit/s requirement.
+///
+/// Usage: bench_throughput [--target-gbps G] [--max-bursts M] [--markdown]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dram/standards.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  tbi::CliParser cli("bench_throughput",
+                     "achievable interleaver throughput per configuration");
+  cli.add_option("target-gbps", "G", "link requirement (default 100)");
+  cli.add_option("max-bursts", "count", "truncate phases for quick runs");
+  cli.add_option("markdown", "", "print GitHub markdown");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.has("help")) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  const double target = cli.get_double("target-gbps", 100.0);
+  const auto max_bursts =
+      static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
+
+  tbi::TextTable t("Achievable interleaver throughput (min of both phases)");
+  t.set_header({"DRAM Configuration", "Peak", "Row-Major", "Optimized",
+                "Row-Major OK?", "Optimized OK?"});
+
+  for (const auto& device : tbi::dram::standard_configs()) {
+    tbi::sim::RunConfig rc;
+    rc.device = device;
+    rc.side = tbi::sim::paper_side_for(device);
+    rc.max_bursts_per_phase = max_bursts;
+
+    rc.mapping_spec = "row-major";
+    const double rm =
+        tbi::sim::run_interleaver(rc).throughput_gbps(device.burst_bytes);
+    rc.mapping_spec = "optimized";
+    const double opt =
+        tbi::sim::run_interleaver(rc).throughput_gbps(device.burst_bytes);
+
+    // The interleaver writes AND reads every bit, so a link rate of G
+    // needs G of write bandwidth and G of read bandwidth concurrently-ish;
+    // with serialized phases the requirement per phase is 2G of the
+    // device budget. We report the serialized-phase figure of merit
+    // (min-phase bandwidth / 2) against the target.
+    char peak[32], rms[32], opts[32];
+    std::snprintf(peak, sizeof peak, "%.1f", device.peak_bandwidth_gbps());
+    std::snprintf(rms, sizeof rms, "%.1f", rm);
+    std::snprintf(opts, sizeof opts, "%.1f", opt);
+    t.add_row({device.name, peak, rms, opts,
+               rm / 2.0 >= target ? "yes" : "no",
+               opt / 2.0 >= target ? "yes" : "no"});
+  }
+  std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
+             stdout);
+  std::printf(
+      "\nAll numbers in Gbit/s. OK? columns: half the min-phase bandwidth\n"
+      "must clear the %.0f Gbit/s link (each bit is written and read).\n",
+      target);
+  return 0;
+}

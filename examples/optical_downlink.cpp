@@ -1,0 +1,170 @@
+/// \file optical_downlink.cpp
+/// End-to-end optical LEO downlink demonstration (the paper's motivating
+/// scenario, §I): Reed-Solomon-coded frames stream through the triangular
+/// block interleaver and a correlated-fading channel with millisecond
+/// coherence. Compares the frame error rate with and without interleaving
+/// and reports the DRAM bandwidth the interleaver needs at link rate.
+///
+/// Code words are framed one per triangle row (shortened RS(255,223), as
+/// the stage-1 SRAM interleaver of the two-stage scheme would arrange
+/// them), so a channel fade of many consecutive transmitted symbols lands
+/// as a few symbols per code word.
+///
+/// Usage: optical_downlink [--frames N] [--fade-prob P] [--burst-symbols B]
+///                         [--seed S] [--device NAME]
+#include <cstdio>
+#include <vector>
+
+#include "channel/gilbert_elliott.hpp"
+#include "common/cli.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dram/standards.hpp"
+#include "fec/reed_solomon.hpp"
+#include "interleaver/triangular.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSide = 255;
+constexpr unsigned kParity = 32;
+
+const tbi::fec::ReedSolomon& rs() {
+  static const tbi::fec::ReedSolomon codec(255, 223);
+  return codec;
+}
+
+struct Frame {
+  std::vector<std::vector<std::uint8_t>> row_data;
+  std::vector<std::uint8_t> stream;
+};
+
+Frame make_frame(tbi::Rng& rng) {
+  Frame f;
+  f.stream.resize(tbi::triangular_number(kSide));
+  f.row_data.resize(kSide);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < kSide; ++i) {
+    const std::uint64_t len = tbi::tri_row_length(kSide, i);
+    if (len <= kParity) {
+      pos += len;
+      continue;
+    }
+    std::vector<std::uint8_t> data(len - kParity);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    f.row_data[i] = data;
+    std::vector<std::uint8_t> full(rs().k(), 0);
+    std::copy(data.begin(), data.end(), full.begin() + static_cast<long>(i));
+    const auto word = rs().encode(full);
+    std::copy(word.begin() + static_cast<long>(i), word.end(),
+              f.stream.begin() + static_cast<long>(pos));
+    pos += len;
+  }
+  return f;
+}
+
+unsigned count_word_failures(const Frame& f, const std::vector<std::uint8_t>& rx) {
+  unsigned failures = 0;
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < kSide; ++i) {
+    const std::uint64_t len = tbi::tri_row_length(kSide, i);
+    if (!f.row_data[i].empty()) {
+      std::vector<std::uint8_t> word(i, 0);
+      word.insert(word.end(), rx.begin() + static_cast<long>(pos),
+                  rx.begin() + static_cast<long>(pos + len));
+      const auto res = rs().decode(word);
+      if (!res.ok ||
+          !std::equal(f.row_data[i].begin(), f.row_data[i].end(),
+                      word.begin() + static_cast<long>(i))) {
+        ++failures;
+      }
+    }
+    pos += len;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tbi::CliParser cli("optical_downlink",
+                     "coded LEO downlink with/without triangular interleaving");
+  cli.add_option("frames", "n", "number of frames to simulate (default 40)");
+  cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.02)");
+  cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 400)");
+  cli.add_option("seed", "s", "RNG seed (default 1)");
+  cli.add_option("device", "name", "DRAM device for the bandwidth check");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.has("help")) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+
+  const auto frames = static_cast<unsigned>(cli.get_int("frames", 40));
+  const double fade_prob = cli.get_double("fade-prob", 0.02);
+  const double burst = cli.get_double("burst-symbols", 400);
+  tbi::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+
+  const tbi::interleaver::TriangularInterleaver tri(kSide);
+  const auto params = tbi::channel::GilbertElliottParams::from_burst_profile(
+      burst, fade_prob, 0.5, 8);
+
+  unsigned direct_failures = 0, interleaved_failures = 0;
+  unsigned direct_frames = 0, interleaved_frames = 0;
+  std::uint64_t words_per_frame = 0;
+
+  for (unsigned fidx = 0; fidx < frames; ++fidx) {
+    const std::uint64_t channel_seed = rng.next_u64();
+    for (const bool interleave : {false, true}) {
+      Frame f = make_frame(rng);
+      auto tx = interleave ? tri.interleave(f.stream) : f.stream;
+      tbi::Rng channel_rng(channel_seed);  // same fades for both systems
+      tbi::channel::GilbertElliottChannel ch(params);
+      ch.apply(tx, channel_rng);
+      const auto rx = interleave ? tri.deinterleave(tx) : tx;
+      const unsigned failures = count_word_failures(f, rx);
+      if (interleave) {
+        interleaved_failures += failures;
+        interleaved_frames += failures != 0;
+      } else {
+        direct_failures += failures;
+        direct_frames += failures != 0;
+      }
+    }
+    words_per_frame = kSide - kParity;
+  }
+
+  tbi::TextTable t("Optical downlink: coded performance over a bursty channel");
+  t.set_header({"System", "Word Errors", "WER", "Frame Errors", "FER"});
+  const double words_total = static_cast<double>(words_per_frame) * frames;
+  t.add_row({"direct (no interleaver)", std::to_string(direct_failures),
+             tbi::TextTable::num(direct_failures / words_total, 5),
+             std::to_string(direct_frames),
+             tbi::TextTable::num(static_cast<double>(direct_frames) / frames, 3)});
+  t.add_row({"triangular interleaver", std::to_string(interleaved_failures),
+             tbi::TextTable::num(interleaved_failures / words_total, 5),
+             std::to_string(interleaved_frames),
+             tbi::TextTable::num(static_cast<double>(interleaved_frames) / frames, 3)});
+  std::fputs(t.render().c_str(), stdout);
+
+  // DRAM side: what the interleaver needs from memory at link rate.
+  const auto* device = tbi::dram::find_config(cli.get("device", "LPDDR5-8533"));
+  if (device != nullptr) {
+    tbi::sim::RunConfig rc;
+    rc.device = *device;
+    rc.mapping_spec = "optimized";
+    rc.side = tbi::sim::paper_side_for(*device);
+    rc.max_bursts_per_phase = 40000;
+    const auto run = tbi::sim::run_interleaver(rc);
+    std::printf(
+        "\nDRAM feasibility on %s: optimized mapping sustains %.1f Gbit/s\n"
+        "interleaver throughput (%.1f Gbit/s peak, %.1f %% min utilization).\n",
+        device->name.c_str(), run.throughput_gbps(device->burst_bytes),
+        device->peak_bandwidth_gbps(), 100.0 * run.min_utilization());
+  }
+  return 0;
+}

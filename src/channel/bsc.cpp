@@ -1,0 +1,28 @@
+#include "channel/bsc.hpp"
+
+#include <stdexcept>
+
+namespace tbi::channel {
+
+SymmetricChannel::SymmetricChannel(double error_probability, unsigned symbol_bits)
+    : p_(error_probability), symbol_bits_(symbol_bits) {
+  if (p_ < 0.0 || p_ > 1.0) {
+    throw std::invalid_argument("SymmetricChannel: probability out of range");
+  }
+  if (symbol_bits_ == 0) {
+    throw std::invalid_argument("SymmetricChannel: symbol_bits must be > 0");
+  }
+}
+
+std::uint64_t SymmetricChannel::apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
+  std::uint64_t corrupted = 0;
+  for (auto& s : symbols) {
+    if (rng.bernoulli(p_)) {
+      corrupt_symbol(s, symbol_bits_, rng);
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace tbi::channel

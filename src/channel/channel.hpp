@@ -1,0 +1,42 @@
+/// \file channel.hpp
+/// Symbol-error channel model interface.
+///
+/// The paper motivates triangular interleaving with the optical LEO
+/// downlink: long coherence time (> 2 ms) means errors arrive in very
+/// long bursts. Real downlink traces are proprietary, so these synthetic
+/// models reproduce the relevant statistics (DESIGN.md §5): a memoryless
+/// BSC as control, a Gilbert-Elliott two-state burst channel, and a
+/// correlated-fading LEO model with configurable coherence time.
+///
+/// Channels operate on *symbol* streams: apply() flips (XOR-corrupts)
+/// symbols in place and returns the number of corrupted symbols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tbi::channel {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Corrupt \p symbols in place; a corrupted symbol is XORed with a
+  /// non-zero random value (so it is guaranteed to differ).
+  /// Returns the number of corrupted symbols.
+  virtual std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Corrupt one symbol, guaranteeing a change in its low \p bits.
+inline void corrupt_symbol(std::uint8_t& sym, unsigned bits, Rng& rng) {
+  const std::uint64_t mask = (bits >= 8) ? 0xFF : ((1u << bits) - 1);
+  std::uint8_t flip = 0;
+  while (flip == 0) flip = static_cast<std::uint8_t>(rng.next_u64() & mask);
+  sym ^= flip;
+}
+
+}  // namespace tbi::channel

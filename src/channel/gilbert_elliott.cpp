@@ -1,0 +1,55 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <stdexcept>
+
+namespace tbi::channel {
+
+GilbertElliottParams GilbertElliottParams::from_burst_profile(
+    double mean_burst_symbols, double bad_fraction, double error_bad,
+    unsigned symbol_bits) {
+  if (mean_burst_symbols < 1.0 || bad_fraction <= 0.0 || bad_fraction >= 1.0) {
+    throw std::invalid_argument("GilbertElliottParams: bad burst profile");
+  }
+  GilbertElliottParams p;
+  p.p_bg = 1.0 / mean_burst_symbols;
+  // stationary bad fraction = p_gb / (p_gb + p_bg)
+  p.p_gb = p.p_bg * bad_fraction / (1.0 - bad_fraction);
+  p.error_good = 0.0;
+  p.error_bad = error_bad;
+  p.symbol_bits = symbol_bits;
+  return p;
+}
+
+GilbertElliottChannel::GilbertElliottChannel(GilbertElliottParams params)
+    : params_(params) {
+  auto check01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!check01(params_.p_gb) || !check01(params_.p_bg) ||
+      !check01(params_.error_good) || !check01(params_.error_bad)) {
+    throw std::invalid_argument("GilbertElliottChannel: probability out of range");
+  }
+}
+
+double GilbertElliottChannel::stationary_bad() const {
+  const double denom = params_.p_gb + params_.p_bg;
+  return denom > 0.0 ? params_.p_gb / denom : 0.0;
+}
+
+std::uint64_t GilbertElliottChannel::apply(std::vector<std::uint8_t>& symbols,
+                                           Rng& rng) {
+  std::uint64_t corrupted = 0;
+  for (auto& s : symbols) {
+    if (bad_) {
+      if (rng.bernoulli(params_.p_bg)) bad_ = false;
+    } else {
+      if (rng.bernoulli(params_.p_gb)) bad_ = true;
+    }
+    const double p = bad_ ? params_.error_bad : params_.error_good;
+    if (p > 0.0 && rng.bernoulli(p)) {
+      corrupt_symbol(s, params_.symbol_bits, rng);
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace tbi::channel

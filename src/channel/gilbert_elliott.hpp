@@ -1,0 +1,46 @@
+/// \file gilbert_elliott.hpp
+/// Gilbert-Elliott two-state Markov burst-error channel.
+///
+/// State G(ood) and B(ad) with per-symbol transition probabilities; each
+/// state corrupts symbols with its own error rate. Expected burst length
+/// is 1/p_bg symbols, so the LEO-scale bursts of the paper (milliseconds
+/// at >100 Gbit/s, i.e. millions of symbols) are configured directly from
+/// the desired mean burst length.
+#pragma once
+
+#include "channel/channel.hpp"
+
+namespace tbi::channel {
+
+struct GilbertElliottParams {
+  double p_gb = 1e-5;      ///< P(Good -> Bad) per symbol
+  double p_bg = 1e-3;      ///< P(Bad -> Good) per symbol; mean burst = 1/p_bg
+  double error_good = 0.0; ///< symbol error rate in Good
+  double error_bad = 0.5;  ///< symbol error rate in Bad
+  unsigned symbol_bits = 3;
+
+  /// Convenience: configure from mean burst length and duty cycle.
+  static GilbertElliottParams from_burst_profile(double mean_burst_symbols,
+                                                 double bad_fraction,
+                                                 double error_bad,
+                                                 unsigned symbol_bits);
+};
+
+class GilbertElliottChannel final : public Channel {
+ public:
+  explicit GilbertElliottChannel(GilbertElliottParams params);
+
+  std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) override;
+  const char* name() const override { return "gilbert-elliott"; }
+
+  const GilbertElliottParams& params() const { return params_; }
+
+  /// Stationary probability of being in the Bad state.
+  double stationary_bad() const;
+
+ private:
+  GilbertElliottParams params_;
+  bool bad_ = false;
+};
+
+}  // namespace tbi::channel

@@ -1,0 +1,98 @@
+#include "channel/leo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tbi::channel {
+
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation); enough
+/// precision to position the fade threshold for a target duty cycle.
+double inv_norm_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("inv_norm_cdf: p in (0,1)");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+LeoFadingChannel::LeoFadingChannel(LeoChannelParams params) : params_(params) {
+  if (params_.symbol_rate_hz <= 0 || params_.coherence_time_s <= 0 ||
+      params_.symbols_per_sample == 0) {
+    throw std::invalid_argument("LeoFadingChannel: bad parameters");
+  }
+  if (params_.fade_probability <= 0.0 || params_.fade_probability >= 1.0) {
+    throw std::invalid_argument("LeoFadingChannel: fade_probability in (0,1)");
+  }
+  const double samples_per_coherence =
+      params_.coherence_time_s * params_.symbol_rate_hz /
+      static_cast<double>(params_.symbols_per_sample);
+  rho_ = std::exp(-1.0 / samples_per_coherence);
+  threshold_ = inv_norm_cdf(params_.fade_probability);
+}
+
+double LeoFadingChannel::next_gaussian(Rng& rng) {
+  // Marsaglia polar method with spare caching.
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * rng.uniform_double() - 1.0;
+    v = 2.0 * rng.uniform_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  has_spare_ = true;
+  return u * m;
+}
+
+std::uint64_t LeoFadingChannel::apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
+  std::uint64_t corrupted = 0;
+  const double sigma = std::sqrt(1.0 - rho_ * rho_);
+  for (std::size_t base = 0; base < symbols.size();
+       base += params_.symbols_per_sample) {
+    state_ = rho_ * state_ + sigma * next_gaussian(rng);
+    const bool faded = state_ < threshold_;
+    if (!faded) continue;
+    const std::size_t end =
+        std::min(symbols.size(), base + params_.symbols_per_sample);
+    for (std::size_t k = base; k < end; ++k) {
+      if (rng.bernoulli(params_.fade_depth_error_rate)) {
+        corrupt_symbol(symbols[k], params_.symbol_bits, rng);
+        ++corrupted;
+      }
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace tbi::channel

@@ -1,0 +1,13 @@
+#include "common/bits.hpp"
+
+namespace tbi {
+
+std::uint64_t reverse_bits(std::uint64_t v, unsigned n) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | ((v >> i) & 1);
+  }
+  return r;
+}
+
+}  // namespace tbi

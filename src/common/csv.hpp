@@ -1,0 +1,29 @@
+/// \file csv.hpp
+/// Small CSV writer with RFC-4180 quoting; used for machine-readable
+/// experiment result dumps next to the human-readable tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tbi {
+
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Serialize the whole document.
+  std::string str() const;
+
+  /// Write to \p path; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tbi

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tbi {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::fprintf(stderr, "[tbi %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace tbi

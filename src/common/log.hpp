@@ -1,0 +1,25 @@
+/// \file log.hpp
+/// Leveled stderr logger. Default level is Warn so library users are not
+/// spammed; simulators raise it to Info/Debug via --verbose flags.
+#pragma once
+
+#include <string>
+
+namespace tbi {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit \p msg if \p level passes the threshold; printf-style callers
+/// should pre-format (keeps the interface allocation-explicit).
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::Error, m); }
+
+}  // namespace tbi

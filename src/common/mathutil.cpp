@@ -1,0 +1,28 @@
+#include "common/mathutil.hpp"
+
+namespace tbi {
+
+std::uint64_t isqrt(std::uint64_t v) {
+  if (v == 0) return 0;
+  std::uint64_t x = v;
+  std::uint64_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + v / x) / 2;
+  }
+  // x = floor(sqrt(v)) by Newton iteration on integers.
+  while (x * x > v) --x;
+  while ((x + 1) * (x + 1) <= v) ++x;
+  return x;
+}
+
+std::uint64_t triangular_side_for(std::uint64_t elements) {
+  if (elements == 0) return 0;
+  // Solve n(n+1)/2 >= elements: n ~ sqrt(2e).
+  std::uint64_t n = isqrt(2 * elements);
+  while (triangular_number(n) < elements) ++n;
+  while (n > 0 && triangular_number(n - 1) >= elements) --n;
+  return n;
+}
+
+}  // namespace tbi

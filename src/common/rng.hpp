@@ -1,0 +1,41 @@
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// Channel models and property tests need reproducible randomness that is
+/// independent of the standard library implementation; std::mt19937 output
+/// is portable but slow, and distributions are not. We ship our own engine
+/// and the few distributions we need.
+#pragma once
+
+#include <cstdint>
+
+namespace tbi {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) (bound > 0), unbiased via rejection.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Bernoulli trial with probability \p p.
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Geometric: number of failures before first success, success prob p > 0.
+  std::uint64_t geometric(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tbi

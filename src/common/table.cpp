@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tbi {
+
+std::string TextTable::pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f %%", fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::num(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::vector<std::size_t> TextTable::widths() const {
+  std::vector<std::size_t> w;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (w.size() < row.size()) w.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) w[i] = std::max(w[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+  return w;
+}
+
+std::string TextTable::render() const {
+  const auto w = widths();
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto cw : w) s += std::string(cw + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      s += " " + cell + std::string(w[i] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  const auto w = widths();
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      s += " " + cell + std::string(w[i] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out;
+  if (!title_.empty()) out += "### " + title_ + "\n\n";
+  out += line(header_);
+  std::string sep = "|";
+  for (auto cw : w) sep += std::string(cw + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& r : rows_) out += line(r);
+  return out;
+}
+
+}  // namespace tbi

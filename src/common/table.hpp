@@ -1,0 +1,42 @@
+/// \file table.hpp
+/// Fixed-width text table rendering for experiment reports.
+///
+/// All bench binaries print their reproduced paper tables through this
+/// class so the output format (and EXPERIMENTS.md) stays uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tbi {
+
+class TextTable {
+ public:
+  /// \p title is printed above the table; may be empty.
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format a percentage like the paper's Table I ("95.99 %").
+  static std::string pct(double fraction);
+  /// Format a double with \p digits decimals.
+  static std::string num(double v, int digits = 2);
+
+  /// Render with unicode-free ASCII borders.
+  std::string render() const;
+
+  /// Render as GitHub-flavored markdown (for EXPERIMENTS.md).
+  std::string render_markdown() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::size_t> widths() const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tbi

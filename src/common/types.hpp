@@ -1,0 +1,28 @@
+/// \file types.hpp
+/// Fundamental scalar types shared across the tbi library.
+///
+/// All DRAM timing in this project is carried in integer picoseconds
+/// (`Ps`). Using one absolute unit instead of per-standard clock cycles
+/// lets the same controller core drive DDR3 through LPDDR5 devices whose
+/// command clocks differ by an order of magnitude, with no rounding drift
+/// between speed grades.
+#pragma once
+
+#include <cstdint>
+
+namespace tbi {
+
+/// Absolute simulation time / duration in integer picoseconds.
+/// 2^63 ps is ~107 days of simulated time — far beyond any interleaver run.
+using Ps = std::int64_t;
+
+/// Convenience literals for timing tables.
+constexpr Ps operator""_ns(unsigned long long v) { return static_cast<Ps>(v) * 1000; }
+constexpr Ps operator""_ps(unsigned long long v) { return static_cast<Ps>(v); }
+constexpr Ps operator""_us(unsigned long long v) { return static_cast<Ps>(v) * 1000 * 1000; }
+
+/// Convert a fractional nanosecond literal-ish value at call sites that
+/// need e.g. 13.75 ns.
+constexpr Ps ns(double v) { return static_cast<Ps>(v * 1000.0 + 0.5); }
+
+}  // namespace tbi

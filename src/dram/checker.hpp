@@ -1,0 +1,46 @@
+/// \file checker.hpp
+/// Independent JEDEC protocol validator.
+///
+/// The checker consumes the command stream emitted by the controller and
+/// re-validates every inter-command constraint with its own (deliberately
+/// separate) bookkeeping, mirroring how DRAMSys pairs its channel model
+/// with a trace checker. Tests attach it to every simulation they run, so
+/// a scheduling bug in the controller cannot silently produce optimistic
+/// bandwidth numbers.
+///
+/// The controller may emit commands out of global time order (it schedules
+/// each chosen request at its earliest legal slot, so an ACT for request
+/// k+1 can precede the CAS of request k on another bank). Call finish() to
+/// sort by issue time and run the validation pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/controller.hpp"
+#include "dram/standards.hpp"
+#include "dram/types.hpp"
+
+namespace tbi::dram {
+
+class TimingChecker final : public CommandObserver {
+ public:
+  explicit TimingChecker(DeviceConfig device, RefreshMode refresh_mode)
+      : device_(std::move(device)), refresh_mode_(refresh_mode) {}
+
+  void on_command(const Command& cmd) override { commands_.push_back(cmd); }
+
+  /// Validate the recorded stream; returns the list of violations
+  /// (empty means the stream is protocol-clean).
+  std::vector<std::string> finish();
+
+  std::size_t command_count() const { return commands_.size(); }
+  const std::vector<Command>& commands() const { return commands_; }
+
+ private:
+  DeviceConfig device_;
+  RefreshMode refresh_mode_;
+  std::vector<Command> commands_;
+};
+
+}  // namespace tbi::dram

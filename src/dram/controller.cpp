@@ -1,0 +1,318 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tbi::dram {
+
+namespace {
+
+RefreshMode effective_refresh_mode(const DeviceConfig& dev,
+                                   const ControllerConfig& cfg) {
+  if (cfg.use_device_default_refresh) return dev.default_refresh;
+  return cfg.refresh_mode;
+}
+
+}  // namespace
+
+Controller::Controller(DeviceConfig device, ControllerConfig config)
+    : device_(std::move(device)),
+      config_(config),
+      refresh_mode_(effective_refresh_mode(device_, config)) {
+  device_.validate();
+  if (config_.queue_depth == 0) {
+    throw std::invalid_argument("Controller: queue_depth must be > 0");
+  }
+  banks_.resize(device_.banks);
+  last_act_in_group_.assign(device_.bank_groups, kNegInf);
+  last_cas_in_group_.assign(device_.bank_groups, kNegInf);
+
+  switch (refresh_mode_) {
+    case RefreshMode::Disabled:
+      refresh_interval_ = 0;
+      refresh_groups_ = 1;
+      break;
+    case RefreshMode::AllBank:
+      refresh_interval_ = device_.timing.tREFI;
+      refresh_groups_ = 1;
+      break;
+    case RefreshMode::PerBank:
+      refresh_groups_ = device_.banks;
+      refresh_interval_ = device_.timing.tREFI / refresh_groups_;
+      break;
+    case RefreshMode::SameBank:
+      refresh_groups_ = device_.banks_per_group();
+      refresh_interval_ = device_.timing.tREFI / refresh_groups_;
+      break;
+  }
+  // A refresh cadence whose command interval is not clearly longer than
+  // the refresh cycle time can never keep up — the backlog grows without
+  // bound (e.g. hypothetical DDR5 per-bank refresh: tREFI/32 < tRFCpb,
+  // which is why the standard only defines REFsb). Reject it up front.
+  if (refresh_mode_ != RefreshMode::Disabled) {
+    const Ps cycle = refresh_mode_ == RefreshMode::AllBank
+                         ? device_.timing.tRFC_ab
+                         : device_.timing.tRFC_grp;
+    if (refresh_interval_ <= cycle) {
+      throw std::invalid_argument("Controller: refresh mode " +
+                                  std::string(to_string(refresh_mode_)) +
+                                  " is unsustainable on " + device_.name);
+    }
+  }
+  next_refresh_ = refresh_interval_;
+}
+
+void Controller::emit(const Command& cmd) {
+  if (observer_ != nullptr) observer_->on_command(cmd);
+}
+
+RowBufferResult Controller::classify(const Request& req) const {
+  const Bank& b = banks_[req.addr.bank];
+  if (!b.open) return RowBufferResult::Miss;
+  return b.row == req.addr.row ? RowBufferResult::Hit : RowBufferResult::Conflict;
+}
+
+Ps Controller::earliest_act_after(Ps floor, std::uint32_t bank_id) const {
+  const unsigned bg = bank_id % device_.bank_groups;
+  Ps t = floor;
+  t = std::max(t, last_act_any_ + device_.timing.tRRD_S);
+  t = std::max(t, last_act_in_group_[bg] + device_.timing.tRRD_L);
+  if (faw_window_.size() == 4) {
+    t = std::max(t, faw_window_.front() + device_.timing.tFAW);
+  }
+  return t;
+}
+
+Controller::Plan Controller::plan_request(const Request& req) const {
+  const std::uint32_t bank_id = req.addr.bank;
+  const unsigned bg = bank_id % device_.bank_groups;
+  const Bank& b = banks_[bank_id];
+  const TimingParams& t = device_.timing;
+
+  Plan plan;
+  plan.kind = classify(req);
+
+  Ps rdwr_ready = b.rdwr_ready;
+  switch (plan.kind) {
+    case RowBufferResult::Hit:
+      break;
+    case RowBufferResult::Miss: {
+      plan.act_t = earliest_act_after(b.act_ready, bank_id);
+      rdwr_ready = plan.act_t + t.tRCD;
+      break;
+    }
+    case RowBufferResult::Conflict: {
+      plan.pre_t = std::max(b.pre_ready, b.last_act + t.tRAS);
+      const Ps act_floor = std::max(b.act_ready, plan.pre_t + t.tRP);
+      plan.act_t = earliest_act_after(act_floor, bank_id);
+      rdwr_ready = plan.act_t + t.tRCD;
+      break;
+    }
+  }
+
+  Ps cas_t = rdwr_ready;
+  cas_t = std::max(cas_t, last_cas_any_ + t.tCCD_S);
+  cas_t = std::max(cas_t, last_cas_in_group_[bg] + t.tCCD_L);
+  if (!req.is_write) {
+    cas_t = std::max(cas_t, last_wr_data_end_ + t.tWTR);  // rank-level W->R
+  }
+
+  const Ps cas_latency = req.is_write ? t.CWL : t.CL;
+  Ps data_start = cas_t + cas_latency;
+  Ps bus_ready = bus_free_;
+  if (req.is_write && !last_burst_was_write_) {
+    bus_ready = std::max(bus_ready, last_rd_data_end_ + t.tRTW_bubble);
+  }
+  if (data_start < bus_ready) {
+    cas_t += bus_ready - data_start;
+    data_start = bus_ready;
+  }
+
+  plan.cas_t = cas_t;
+  plan.data_start = data_start;
+  plan.data_end = data_start + device_.burst_time;
+  return plan;
+}
+
+Ps Controller::close_bank(std::uint32_t bank_id, PhaseStats& stats) {
+  Bank& b = banks_[bank_id];
+  assert(b.open);
+  const Ps pre_t = std::max(b.pre_ready, b.last_act + device_.timing.tRAS);
+  b.open = false;
+  b.act_ready = std::max(b.act_ready, pre_t + device_.timing.tRP);
+  b.ref_ready = std::max(b.ref_ready, pre_t + device_.timing.tRP);
+  ++stats.precharges;
+  emit(Command{.kind = CommandKind::Pre, .issue = pre_t, .bank = bank_id});
+  return pre_t;
+}
+
+void Controller::note_act_rate(Ps t, unsigned bank_group) {
+  last_act_any_ = t;
+  last_act_in_group_[bank_group] = t;
+  faw_window_.push_back(t);
+  if (faw_window_.size() > 4) faw_window_.pop_front();
+}
+
+void Controller::commit(const Request& req, const Plan& plan, PhaseStats& stats) {
+  const std::uint32_t bank_id = req.addr.bank;
+  const unsigned bg = bank_id % device_.bank_groups;
+  Bank& b = banks_[bank_id];
+  const TimingParams& t = device_.timing;
+
+  switch (plan.kind) {
+    case RowBufferResult::Hit:
+      ++stats.row_hits;
+      break;
+    case RowBufferResult::Conflict: {
+      ++stats.row_conflicts;
+      b.open = false;
+      b.act_ready = std::max(b.act_ready, plan.pre_t + t.tRP);
+      b.ref_ready = std::max(b.ref_ready, plan.pre_t + t.tRP);
+      ++stats.precharges;
+      emit(Command{.kind = CommandKind::Pre, .issue = plan.pre_t, .bank = bank_id});
+      [[fallthrough]];
+    }
+    case RowBufferResult::Miss: {
+      if (plan.kind == RowBufferResult::Miss) ++stats.row_misses;
+      b.open = true;
+      b.row = req.addr.row;
+      b.last_act = plan.act_t;
+      b.act_ready = plan.act_t + t.tRC;
+      b.rdwr_ready = plan.act_t + t.tRCD;
+      b.pre_ready = plan.act_t + t.tRAS;
+      note_act_rate(plan.act_t, bg);
+      ++stats.activates;
+      emit(Command{.kind = CommandKind::Act, .issue = plan.act_t, .bank = bank_id,
+                   .row = req.addr.row});
+      break;
+    }
+  }
+
+  last_cas_any_ = plan.cas_t;
+  last_cas_in_group_[bg] = plan.cas_t;
+  bus_free_ = plan.data_end;
+  last_burst_was_write_ = req.is_write;
+  if (req.is_write) {
+    last_wr_data_end_ = plan.data_end;
+    b.pre_ready = std::max(b.pre_ready, plan.data_end + t.tWR);
+    ++stats.writes;
+  } else {
+    last_rd_data_end_ = plan.data_end;
+    b.pre_ready = std::max(b.pre_ready, plan.cas_t + t.tRTP);
+    ++stats.reads;
+  }
+
+  ++stats.bursts;
+  stats.busy += device_.burst_time;
+  if (stats.bursts == 1) stats.start = plan.data_start;
+  stats.end = plan.data_end;
+  now_ = std::max(now_, plan.data_end);
+
+  emit(Command{.kind = req.is_write ? CommandKind::Wr : CommandKind::Rd,
+               .issue = plan.cas_t,
+               .bank = bank_id,
+               .row = req.addr.row,
+               .column = req.addr.column,
+               .data_start = plan.data_start,
+               .data_end = plan.data_end});
+}
+
+std::size_t Controller::pick_request() const {
+  assert(!queue_.empty());
+  if (config_.policy == ControllerConfig::Policy::Fcfs) return 0;
+
+  // Earliest-data-slot greedy (see ControllerConfig::Policy). data_start
+  // can never precede the current bus_free_, so a request landing exactly
+  // there is unbeatable and ends the scan early; ties resolve to the
+  // oldest request because the queue is scanned in arrival order.
+  std::size_t best = 0;
+  Ps best_slot = std::numeric_limits<Ps>::max();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Ps slot = plan_request(queue_[i]).data_start;
+    if (slot < best_slot) {
+      best_slot = slot;
+      best = i;
+      if (slot <= bus_free_) break;
+    }
+  }
+  return best;
+}
+
+void Controller::do_refresh(PhaseStats& stats) {
+  const TimingParams& t = device_.timing;
+  Ps ready = next_refresh_;
+
+  if (refresh_mode_ == RefreshMode::AllBank) {
+    for (std::uint32_t i = 0; i < device_.banks; ++i) {
+      if (banks_[i].open) close_bank(i, stats);
+      ready = std::max(ready, banks_[i].ref_ready);
+    }
+    ready = std::max(ready, last_refresh_ + t.tRFC_ab);
+    for (auto& b : banks_) {
+      b.act_ready = std::max(b.act_ready, ready + t.tRFC_ab);
+    }
+    emit(Command{.kind = CommandKind::RefAb, .issue = ready});
+  } else {
+    // Per-bank / same-bank rotation group.
+    const unsigned group = next_refresh_group_;
+    auto is_member = [&](std::uint32_t i) {
+      return (refresh_mode_ == RefreshMode::PerBank)
+                 ? (i == group)
+                 : (i / device_.bank_groups == group);
+    };
+    for (std::uint32_t i = 0; i < device_.banks; ++i) {
+      if (!is_member(i)) continue;
+      if (banks_[i].open) close_bank(i, stats);
+      ready = std::max(ready, banks_[i].ref_ready);
+    }
+    ready = std::max(ready, last_refresh_ + t.tRFC_grp);
+    for (std::uint32_t i = 0; i < device_.banks; ++i) {
+      if (is_member(i)) {
+        banks_[i].act_ready = std::max(banks_[i].act_ready, ready + t.tRFC_grp);
+      }
+    }
+    emit(Command{.kind = CommandKind::RefGrp, .issue = ready, .bank = group});
+    next_refresh_group_ = (next_refresh_group_ + 1) % refresh_groups_;
+  }
+
+  last_refresh_ = ready;
+  ++stats.refreshes;
+  next_refresh_ += refresh_interval_;
+}
+
+void Controller::refresh_if_due(PhaseStats& stats) {
+  if (refresh_mode_ == RefreshMode::Disabled) return;
+  while (next_refresh_ <= now_) do_refresh(stats);
+}
+
+PhaseStats Controller::run_phase(RequestStream& stream, std::string label) {
+  PhaseStats stats;
+  stats.label = std::move(label);
+
+  auto refill = [&] {
+    Request r;
+    while (queue_.size() < config_.queue_depth && stream.next(r)) {
+      r.seq = next_seq_++;
+      if (r.addr.bank >= device_.banks || r.addr.row >= device_.rows_per_bank ||
+          r.addr.column >= device_.columns_per_page) {
+        throw std::out_of_range("Controller: request address outside device");
+      }
+      queue_.push_back(r);
+    }
+  };
+
+  refill();
+  while (!queue_.empty()) {
+    refresh_if_due(stats);
+    const std::size_t idx = pick_request();
+    const Request req = queue_[idx];
+    const Plan plan = plan_request(req);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    commit(req, plan, stats);
+    refill();
+  }
+  return stats;
+}
+
+}  // namespace tbi::dram

@@ -1,0 +1,136 @@
+/// \file controller.hpp
+/// Command-level DRAM memory controller / timing model.
+///
+/// The controller consumes burst requests from a RequestStream through a
+/// fixed-depth scheduling queue, chooses the next request with FR-FCFS
+/// (row hits first, then oldest) or plain FCFS, and schedules the ACT /
+/// PRE / RD / WR / REF commands needed at their earliest legal issue time
+/// under the JEDEC constraints of dram/timing.hpp. Time is continuous
+/// integer picoseconds; there is no cycle stepping, which makes the model
+/// fast enough (millions of bursts per second) to reproduce all Table I
+/// configurations in seconds.
+///
+/// Fidelity notes (DESIGN.md §5): per-bank row state, bank-group-aware
+/// tCCD/tRRD, the four-activate window, rank-level write-to-read
+/// turnaround, data-bus serialization, and all-bank / per-bank / same-bank
+/// refresh are modeled; command-bus slot contention and PHY effects are
+/// not. Every scheduled command can be streamed into a TimingChecker that
+/// independently re-validates the protocol.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "dram/standards.hpp"
+#include "dram/stats.hpp"
+#include "dram/stream.hpp"
+#include "dram/types.hpp"
+
+namespace tbi::dram {
+
+/// Observer for every command the controller schedules (checker, traces).
+class CommandObserver {
+ public:
+  virtual ~CommandObserver() = default;
+  virtual void on_command(const Command& cmd) = 0;
+};
+
+struct ControllerConfig {
+  /// FrFcfs: earliest-data-slot greedy over the whole queue — the request
+  /// whose burst can reach the data bus first is served next (ties go to
+  /// the oldest). This emulates a cycle-accurate FR-FCFS controller: row
+  /// hits naturally overtake conflicting requests while a conflict whose
+  /// PRE/ACT chain has completed costs nothing extra and regains priority
+  /// through its age.
+  /// Fcfs: strict arrival order (baseline for tests/ablation).
+  enum class Policy { FrFcfs, Fcfs };
+
+  unsigned queue_depth = 64;
+  Policy policy = Policy::FrFcfs;
+  /// When true, the device's default refresh mode is used and
+  /// `refresh_mode` is ignored.
+  bool use_device_default_refresh = true;
+  RefreshMode refresh_mode = RefreshMode::AllBank;
+};
+
+class Controller {
+ public:
+  Controller(DeviceConfig device, ControllerConfig config);
+
+  /// Drain \p stream completely and return the phase statistics.
+  /// Controller state (open rows, clock, refresh phase) carries over to
+  /// the next call, so write phase and read phase chain realistically.
+  PhaseStats run_phase(RequestStream& stream, std::string label);
+
+  /// Attach an observer receiving every scheduled command (or nullptr).
+  void set_observer(CommandObserver* observer) { observer_ = observer; }
+
+  const DeviceConfig& device() const { return device_; }
+  RefreshMode refresh_mode() const { return refresh_mode_; }
+
+  /// Current simulated time (end of last scheduled data burst).
+  Ps now() const { return now_; }
+
+ private:
+  static constexpr Ps kNegInf = std::numeric_limits<Ps>::min() / 4;
+
+  struct Bank {
+    bool open = false;
+    std::uint32_t row = 0;
+    Ps last_act = kNegInf;      ///< issue time of last ACT
+    Ps act_ready = 0;           ///< earliest next ACT (tRP / tRC / refresh)
+    Ps rdwr_ready = 0;          ///< earliest CAS after ACT (tRCD)
+    Ps pre_ready = 0;           ///< earliest PRE (tRAS / tRTP / tWR)
+    Ps ref_ready = 0;           ///< earliest REF touching this bank (tRP after PRE)
+  };
+
+  /// Fully computed earliest-legal schedule for one request.
+  struct Plan {
+    RowBufferResult kind = RowBufferResult::Hit;
+    Ps pre_t = 0;   ///< valid when kind == Conflict
+    Ps act_t = 0;   ///< valid when kind != Hit
+    Ps cas_t = 0;
+    Ps data_start = 0;
+    Ps data_end = 0;
+  };
+
+  RowBufferResult classify(const Request& req) const;
+  Plan plan_request(const Request& req) const;
+  void commit(const Request& req, const Plan& plan, PhaseStats& stats);
+  void refresh_if_due(PhaseStats& stats);
+  void do_refresh(PhaseStats& stats);
+  Ps close_bank(std::uint32_t bank_id, PhaseStats& stats);
+  void note_act_rate(Ps t, unsigned bank_group);
+  Ps earliest_act_after(Ps floor, std::uint32_t bank_id) const;
+  std::size_t pick_request() const;
+  void emit(const Command& cmd);
+
+  DeviceConfig device_;
+  ControllerConfig config_;
+  RefreshMode refresh_mode_;
+  CommandObserver* observer_ = nullptr;
+
+  std::vector<Bank> banks_;
+  std::vector<Ps> last_act_in_group_;   ///< per bank group, for tRRD_L
+  std::vector<Ps> last_cas_in_group_;   ///< per bank group, for tCCD_L
+  Ps last_act_any_ = kNegInf;
+  Ps last_cas_any_ = kNegInf;
+  std::deque<Ps> faw_window_;           ///< issue times of recent ACTs
+  Ps bus_free_ = 0;
+  Ps last_wr_data_end_ = kNegInf;
+  Ps last_rd_data_end_ = kNegInf;
+  bool last_burst_was_write_ = false;
+  Ps now_ = 0;
+
+  Ps next_refresh_ = 0;
+  Ps refresh_interval_ = 0;
+  unsigned refresh_groups_ = 1;
+  unsigned next_refresh_group_ = 0;
+  Ps last_refresh_ = kNegInf;
+
+  std::deque<Request> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tbi::dram

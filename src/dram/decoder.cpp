@@ -1,0 +1,104 @@
+#include "dram/decoder.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace tbi::dram {
+
+const char* to_string(AddressLayout layout) {
+  switch (layout) {
+    case AddressLayout::RoBaCoBg: return "Ro-Ba-CoH-Bg-CoL";
+    case AddressLayout::RoBaCo: return "Ro-Ba-Co";
+    case AddressLayout::RoCoBa: return "Ro-Co-Ba";
+    case AddressLayout::RoBaCoBgXor: return "Ro-Ba-CoH-Bg-CoL (xor)";
+  }
+  return "?";
+}
+
+AddressDecoder::AddressDecoder(const DeviceConfig& device, AddressLayout layout)
+    : layout_(layout),
+      bank_bits_(ilog2(device.banks)),
+      group_bits_(ilog2(device.bank_groups)),
+      column_bits_(ilog2(device.columns_per_page)),
+      row_bits_(clog2(device.rows_per_bank)),
+      capacity_(std::uint64_t{device.banks} * device.rows_per_bank *
+                device.columns_per_page) {
+  if (group_bits_ > column_bits_) {
+    throw std::invalid_argument("AddressDecoder: more bank-group bits than column bits");
+  }
+}
+
+Address AddressDecoder::decode(std::uint64_t idx) const {
+  if (idx >= capacity_) throw std::out_of_range("AddressDecoder: index beyond capacity");
+  Address a;
+  switch (layout_) {
+    case AddressLayout::RoBaCoBg:
+    case AddressLayout::RoBaCoBgXor: {
+      // idx = row | bank-in-group | column | bank-group
+      // Bank-group bits are the lowest bits: consecutive bursts rotate
+      // groups; the flat bank id is group-major (bank % groups == group).
+      unsigned pos = 0;
+      const std::uint64_t group = extract_bits(idx, pos, group_bits_);
+      pos += group_bits_;
+      const std::uint64_t col = extract_bits(idx, pos, column_bits_);
+      pos += column_bits_;
+      std::uint64_t bank_in_group = extract_bits(idx, pos, bank_bits_ - group_bits_);
+      pos += bank_bits_ - group_bits_;
+      const std::uint64_t row = idx >> pos;
+      if (layout_ == AddressLayout::RoBaCoBgXor && bank_bits_ > group_bits_) {
+        bank_in_group ^= row & low_mask(bank_bits_ - group_bits_);
+      }
+      a.bank = static_cast<std::uint32_t>(group + (bank_in_group << group_bits_));
+      a.column = static_cast<std::uint32_t>(col);
+      a.row = static_cast<std::uint32_t>(row);
+      break;
+    }
+    case AddressLayout::RoBaCo: {
+      a.column = static_cast<std::uint32_t>(extract_bits(idx, 0, column_bits_));
+      a.bank = static_cast<std::uint32_t>(extract_bits(idx, column_bits_, bank_bits_));
+      a.row = static_cast<std::uint32_t>(idx >> (column_bits_ + bank_bits_));
+      break;
+    }
+    case AddressLayout::RoCoBa: {
+      a.bank = static_cast<std::uint32_t>(extract_bits(idx, 0, bank_bits_));
+      a.column = static_cast<std::uint32_t>(extract_bits(idx, bank_bits_, column_bits_));
+      a.row = static_cast<std::uint32_t>(idx >> (bank_bits_ + column_bits_));
+      break;
+    }
+  }
+  return a;
+}
+
+std::uint64_t AddressDecoder::encode(const Address& addr) const {
+  switch (layout_) {
+    case AddressLayout::RoBaCoBg:
+    case AddressLayout::RoBaCoBgXor: {
+      const std::uint64_t group = addr.bank & low_mask(group_bits_);
+      std::uint64_t bank_in_group = addr.bank >> group_bits_;
+      const std::uint64_t row = addr.row;
+      if (layout_ == AddressLayout::RoBaCoBgXor && bank_bits_ > group_bits_) {
+        bank_in_group ^= row & low_mask(bank_bits_ - group_bits_);
+      }
+      std::uint64_t idx = group;
+      unsigned pos = group_bits_;
+      idx |= std::uint64_t{addr.column} << pos;
+      pos += column_bits_;
+      idx |= bank_in_group << pos;
+      pos += bank_bits_ - group_bits_;
+      idx |= row << pos;
+      return idx;
+    }
+    case AddressLayout::RoBaCo:
+      return std::uint64_t{addr.column} |
+             (std::uint64_t{addr.bank} << column_bits_) |
+             (std::uint64_t{addr.row} << (column_bits_ + bank_bits_));
+    case AddressLayout::RoCoBa:
+      return std::uint64_t{addr.bank} |
+             (std::uint64_t{addr.column} << bank_bits_) |
+             (std::uint64_t{addr.row} << (bank_bits_ + column_bits_));
+  }
+  return 0;
+}
+
+}  // namespace tbi::dram

@@ -1,0 +1,26 @@
+#include "dram/energy.hpp"
+
+namespace tbi::dram {
+
+EnergyReport compute_energy(const DeviceConfig& device, const PhaseStats& stats,
+                            RefreshMode refresh_mode) {
+  const EnergyParams& e = device.energy;
+  EnergyReport r;
+  r.act_pre_nj = 1e-3 * e.act_pre_pj * static_cast<double>(stats.activates);
+  r.rd_nj = 1e-3 * e.rd_pj * static_cast<double>(stats.reads);
+  r.wr_nj = 1e-3 * e.wr_pj * static_cast<double>(stats.writes);
+  // Group refreshes touch banks/groups-of-banks; scale to the all-bank
+  // equivalent by the fraction of banks refreshed per command.
+  double ref_scale = 1.0;
+  switch (refresh_mode) {
+    case RefreshMode::PerBank: ref_scale = 1.0 / device.banks; break;
+    case RefreshMode::SameBank: ref_scale = 1.0 / device.banks_per_group(); break;
+    default: break;
+  }
+  r.refresh_nj = 1e-3 * e.ref_ab_pj * ref_scale * static_cast<double>(stats.refreshes);
+  // background_mw [mW] * elapsed [ps] -> nJ: 1 mW * 1 ps = 1e-12 mJ = 1e-6 nJ.
+  r.background_nj = e.background_mw * static_cast<double>(stats.elapsed()) * 1e-6;
+  return r;
+}
+
+}  // namespace tbi::dram

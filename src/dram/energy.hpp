@@ -1,0 +1,38 @@
+/// \file energy.hpp
+/// DRAMPower-style per-command energy accounting.
+///
+/// The paper's §I motivates the optimized mapping with the cost and
+/// *energy* of oversizing DRAM bandwidth; this model quantifies that:
+/// a phase that needs more activates and runs longer at the same burst
+/// count burns measurably more energy per interleaved gigabyte.
+#pragma once
+
+#include "dram/standards.hpp"
+#include "dram/stats.hpp"
+
+namespace tbi::dram {
+
+/// Energy totals for one phase, derived from its command counts.
+struct EnergyReport {
+  double act_pre_nj = 0;
+  double rd_nj = 0;
+  double wr_nj = 0;
+  double refresh_nj = 0;
+  double background_nj = 0;
+
+  double total_nj() const {
+    return act_pre_nj + rd_nj + wr_nj + refresh_nj + background_nj;
+  }
+
+  /// Energy efficiency in nanojoule per transferred byte.
+  double nj_per_byte(std::uint64_t bytes) const {
+    return bytes ? total_nj() / static_cast<double>(bytes) : 0.0;
+  }
+};
+
+/// Compute the energy of one executed phase on \p device; \p refresh_mode
+/// is the mode the controller actually ran with (scales group refreshes).
+EnergyReport compute_energy(const DeviceConfig& device, const PhaseStats& stats,
+                            RefreshMode refresh_mode);
+
+}  // namespace tbi::dram

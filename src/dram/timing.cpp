@@ -1,0 +1,29 @@
+#include "dram/timing.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tbi::dram {
+
+namespace {
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument("TimingParams: " + what);
+}
+}  // namespace
+
+void TimingParams::validate() const {
+  require(tCK > 0, "tCK must be positive");
+  require(CL > 0 && CWL > 0, "CAS latencies must be positive");
+  require(tRCD > 0 && tRP > 0 && tRAS > 0, "row timings must be positive");
+  require(tRC >= tRAS + tRP, "tRC must cover tRAS + tRP");
+  require(tRAS >= tRCD, "tRAS must cover tRCD");
+  require(tRRD_L >= tRRD_S, "tRRD_L must be >= tRRD_S");
+  require(tFAW >= tRRD_S, "tFAW must be >= tRRD_S");
+  require(tCCD_L >= tCCD_S, "tCCD_L must be >= tCCD_S");
+  require(tCCD_S > 0, "tCCD_S must be positive");
+  require(tRTP > 0 && tWR > 0, "read/write recovery must be positive");
+  require(tREFI == 0 || tRFC_ab > 0, "refresh enabled needs tRFC_ab");
+  require(tREFI == 0 || tREFI > tRFC_ab, "tREFI must exceed tRFC_ab");
+}
+
+}  // namespace tbi::dram

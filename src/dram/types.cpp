@@ -1,0 +1,17 @@
+#include "dram/types.hpp"
+
+namespace tbi::dram {
+
+const char* to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::Act: return "ACT";
+    case CommandKind::Pre: return "PRE";
+    case CommandKind::Rd: return "RD";
+    case CommandKind::Wr: return "WR";
+    case CommandKind::RefAb: return "REFab";
+    case CommandKind::RefGrp: return "REFgrp";
+  }
+  return "?";
+}
+
+}  // namespace tbi::dram

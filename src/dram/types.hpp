@@ -1,0 +1,65 @@
+/// \file types.hpp
+/// Core value types of the command-level DRAM model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tbi::dram {
+
+/// A decoded DRAM location at burst granularity.
+///
+/// `bank` is the *flat* bank id in bank-group-major order: bank group =
+/// `bank % bank_groups`, bank-within-group = `bank / bank_groups`. This
+/// numbering implements the paper's convention that "the lower bank address
+/// bits always denote the bank group", so incrementing the flat id by one
+/// always switches the bank group (round-robin).
+struct Address {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;  ///< column counted in bursts within the page
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+/// One burst-sized memory request as produced by the interleaver streams.
+struct Request {
+  Address addr;
+  bool is_write = false;
+  std::uint64_t seq = 0;  ///< arrival order, used for FCFS age comparison
+};
+
+/// DRAM command set of the timing model (rank-level, one rank).
+enum class CommandKind : std::uint8_t {
+  Act,     ///< activate a row (bank must be precharged)
+  Pre,     ///< precharge a bank
+  Rd,      ///< column read burst
+  Wr,      ///< column write burst
+  RefAb,   ///< all-bank refresh
+  RefGrp,  ///< partial refresh (per-bank / same-bank group rotation)
+};
+
+const char* to_string(CommandKind kind);
+
+/// A fully scheduled command; consumed by the protocol checker and by
+/// optional trace dumps.
+struct Command {
+  CommandKind kind = CommandKind::Act;
+  Ps issue = 0;               ///< command issue time
+  std::uint32_t bank = 0;     ///< undefined for RefAb
+  std::uint32_t row = 0;      ///< ACT only
+  std::uint32_t column = 0;   ///< RD/WR only
+  Ps data_start = 0;          ///< RD/WR: first data beat on the bus
+  Ps data_end = 0;            ///< RD/WR: one past the last data beat
+};
+
+/// Row-buffer outcome of a request, for statistics.
+enum class RowBufferResult : std::uint8_t {
+  Hit,       ///< page already open
+  Miss,      ///< bank precharged, ACT needed
+  Conflict,  ///< other row open, PRE + ACT needed
+};
+
+}  // namespace tbi::dram

@@ -1,0 +1,46 @@
+/// \file gf256.hpp
+/// Arithmetic over GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+/// (0x11D), the conventional Reed-Solomon field.
+///
+/// Log/antilog tables are built once at static-init time; all operations
+/// are table lookups, which keeps the RS codec fast enough for the
+/// end-to-end optical-downlink example to run millions of symbols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tbi::fec {
+
+class GF256 {
+ public:
+  static constexpr unsigned kFieldSize = 256;
+  static constexpr unsigned kPrimitivePoly = 0x11D;
+
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return static_cast<std::uint8_t>(a ^ b);
+  }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return add(a, b); }
+
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    return exp_table()[(log_table()[a] + log_table()[b]) % 255];
+  }
+
+  /// Multiplicative inverse; undefined for 0 (asserts in debug builds).
+  static std::uint8_t inv(std::uint8_t a);
+
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b) { return mul(a, inv(b)); }
+
+  /// alpha^power for the primitive element alpha = 0x02.
+  static std::uint8_t pow_alpha(unsigned power) { return exp_table()[power % 255]; }
+
+  /// Discrete log base alpha; undefined for 0.
+  static unsigned log_alpha(std::uint8_t a);
+
+ private:
+  static const std::array<std::uint8_t, 512>& exp_table();
+  static const std::array<unsigned, 256>& log_table();
+};
+
+}  // namespace tbi::fec

@@ -1,0 +1,168 @@
+#include "fec/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tbi::fec {
+
+namespace {
+
+using Poly = std::vector<std::uint8_t>;  // coefficients, low degree first
+
+std::uint8_t poly_eval(const Poly& p, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = GF256::add(GF256::mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k) {
+  if (n_ == 0 || n_ > 255 || k_ == 0 || k_ >= n_) {
+    throw std::invalid_argument("ReedSolomon: need 0 < k < n <= 255");
+  }
+  if ((n_ - k_) % 2 != 0) {
+    throw std::invalid_argument("ReedSolomon: n - k must be even");
+  }
+  // g(x) = prod_{i=1}^{n-k} (x - alpha^i), low degree first.
+  generator_ = {1};
+  for (unsigned i = 1; i <= n_ - k_; ++i) {
+    const std::uint8_t root = GF256::pow_alpha(i);
+    Poly next(generator_.size() + 1, 0);
+    for (std::size_t d = 0; d < generator_.size(); ++d) {
+      next[d] = GF256::add(next[d], GF256::mul(generator_[d], root));
+      next[d + 1] = GF256::add(next[d + 1], generator_[d]);
+    }
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  if (data.size() != k_) throw std::invalid_argument("ReedSolomon::encode: bad size");
+  // Systematic encoding: remainder of data * x^(n-k) divided by g(x).
+  const unsigned p = parity();
+  std::vector<std::uint8_t> remainder(p, 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = GF256::add(data[i], remainder[p - 1]);
+    for (unsigned d = p; d-- > 1;) {
+      remainder[d] = GF256::add(remainder[d - 1], GF256::mul(feedback, generator_[d]));
+    }
+    remainder[0] = GF256::mul(feedback, generator_[0]);
+  }
+  std::vector<std::uint8_t> word(data);
+  // Parity appended high-degree-first so that word[j] is the coefficient
+  // of x^(n-1-j) throughout.
+  for (unsigned d = 0; d < p; ++d) word.push_back(remainder[p - 1 - d]);
+  return word;
+}
+
+std::vector<std::uint8_t> ReedSolomon::syndromes(
+    const std::vector<std::uint8_t>& word) const {
+  // word[j] is the coefficient of x^(n-1-j); S_i = r(alpha^i).
+  std::vector<std::uint8_t> s(parity());
+  for (unsigned i = 1; i <= parity(); ++i) {
+    const std::uint8_t x = GF256::pow_alpha(i);
+    std::uint8_t acc = 0;
+    for (unsigned j = 0; j < n_; ++j) acc = GF256::add(GF256::mul(acc, x), word[j]);
+    s[i - 1] = acc;
+  }
+  return s;
+}
+
+bool ReedSolomon::is_codeword(const std::vector<std::uint8_t>& word) const {
+  if (word.size() != n_) return false;
+  const auto s = syndromes(word);
+  return std::all_of(s.begin(), s.end(), [](std::uint8_t v) { return v == 0; });
+}
+
+RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
+  if (word.size() != n_) throw std::invalid_argument("ReedSolomon::decode: bad size");
+  const auto synd = syndromes(word);
+  if (std::all_of(synd.begin(), synd.end(), [](std::uint8_t v) { return v == 0; })) {
+    return {true, 0};
+  }
+
+  // Berlekamp-Massey: error locator sigma(x), low degree first.
+  Poly sigma{1};
+  Poly prev{1};
+  unsigned L = 0;
+  unsigned m = 1;
+  std::uint8_t b = 1;
+  for (unsigned iter = 0; iter < parity(); ++iter) {
+    std::uint8_t delta = synd[iter];
+    for (unsigned i = 1; i <= L && i < sigma.size(); ++i) {
+      delta = GF256::add(delta, GF256::mul(sigma[i], synd[iter - i]));
+    }
+    if (delta == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * L <= iter) {
+      const Poly tmp = sigma;
+      const std::uint8_t scale = GF256::div(delta, b);
+      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        sigma[i + m] = GF256::add(sigma[i + m], GF256::mul(scale, prev[i]));
+      }
+      L = iter + 1 - L;
+      prev = tmp;
+      b = delta;
+      m = 1;
+    } else {
+      const std::uint8_t scale = GF256::div(delta, b);
+      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        sigma[i + m] = GF256::add(sigma[i + m], GF256::mul(scale, prev[i]));
+      }
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const unsigned errors = static_cast<unsigned>(sigma.size()) - 1;
+  if (errors > t()) return {false, 0};
+
+  // Chien search over code-word positions. Position j (coefficient of
+  // x^(n-1-j)) has locator X = alpha^(n-1-j); it is an error location iff
+  // sigma(X^{-1}) == 0.
+  std::vector<unsigned> error_positions;
+  for (unsigned j = 0; j < n_; ++j) {
+    const unsigned power = n_ - 1 - j;
+    const std::uint8_t x_inv = GF256::pow_alpha(255 - (power % 255));
+    if (poly_eval(sigma, x_inv) == 0) error_positions.push_back(j);
+  }
+  if (error_positions.size() != errors) return {false, 0};
+
+  // Forney: error evaluator omega(x) = [S(x) * sigma(x)] mod x^(n-k).
+  Poly omega(parity(), 0);
+  for (unsigned i = 0; i < parity(); ++i) {
+    for (std::size_t d = 0; d < sigma.size() && d <= i; ++d) {
+      omega[i] = GF256::add(omega[i], GF256::mul(synd[i - d], sigma[d]));
+    }
+  }
+  // sigma'(x): formal derivative (odd-degree coefficients).
+  Poly sigma_deriv;
+  for (std::size_t d = 1; d < sigma.size(); d += 2) {
+    sigma_deriv.resize(d, 0);
+    sigma_deriv[d - 1] = sigma[d];
+  }
+
+  for (unsigned j : error_positions) {
+    const unsigned power = n_ - 1 - j;
+    const std::uint8_t x_inv = GF256::pow_alpha(255 - (power % 255));
+    const std::uint8_t num = poly_eval(omega, x_inv);
+    const std::uint8_t den = poly_eval(sigma_deriv, x_inv);
+    if (den == 0) return {false, 0};
+    // With syndromes S_i = r(alpha^i), i = 1..2t, the Forney magnitude is
+    // e_j = omega(X^{-1}) / sigma'(X^{-1}) (the X factors cancel in GF(2^m)).
+    const std::uint8_t magnitude = GF256::div(num, den);
+    word[j] = GF256::add(word[j], magnitude);
+  }
+
+  if (!is_codeword(word)) return {false, 0};
+  return {true, static_cast<unsigned>(error_positions.size())};
+}
+
+}  // namespace tbi::fec

@@ -1,0 +1,56 @@
+/// \file reed_solomon.hpp
+/// Systematic Reed-Solomon codec RS(n, k) over GF(2^8), n <= 255.
+///
+/// Stands in for the proprietary satcom FEC of the paper's system
+/// (DESIGN.md §5): the end-to-end examples encode a frame, pass it through
+/// the two-stage triangular interleaver and a bursty optical channel, and
+/// show that the interleaver converts channel bursts that would swamp any
+/// single code word into correctable per-code-word error counts.
+///
+/// Decoder: syndromes -> Berlekamp-Massey -> Chien search -> Forney,
+/// correcting up to t = (n-k)/2 symbol errors per code word.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fec/gf256.hpp"
+
+namespace tbi::fec {
+
+struct RsDecodeResult {
+  bool ok = false;                 ///< true when a valid code word was recovered
+  unsigned corrected_symbols = 0;  ///< number of symbol corrections applied
+};
+
+class ReedSolomon {
+ public:
+  /// \p n total symbols per code word, \p k data symbols; n-k must be even
+  /// and positive, n <= 255.
+  ReedSolomon(unsigned n, unsigned k);
+
+  unsigned n() const { return n_; }
+  unsigned k() const { return k_; }
+  unsigned parity() const { return n_ - k_; }
+  unsigned t() const { return (n_ - k_) / 2; }
+
+  /// Encode k data symbols into an n-symbol systematic code word
+  /// (data first, parity appended).
+  std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& data) const;
+
+  /// Decode an n-symbol received word in place.
+  RsDecodeResult decode(std::vector<std::uint8_t>& word) const;
+
+  /// True iff \p word is a valid code word (all syndromes zero).
+  bool is_codeword(const std::vector<std::uint8_t>& word) const;
+
+ private:
+  std::vector<std::uint8_t> syndromes(const std::vector<std::uint8_t>& word) const;
+
+  unsigned n_;
+  unsigned k_;
+  std::vector<std::uint8_t> generator_;  ///< generator polynomial, low degree first
+};
+
+}  // namespace tbi::fec

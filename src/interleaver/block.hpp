@@ -1,0 +1,40 @@
+/// \file block.hpp
+/// Rectangular block interleaver (write row-wise, read column-wise).
+///
+/// This is the classic SRAM interleaver structure and serves two roles in
+/// the reproduction: it is the stage-1 interleaver that distributes the
+/// symbols sharing one DRAM burst over different code words (paper §II),
+/// and it is the reference behavior the triangular interleaver tests
+/// compare against.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tbi::interleaver {
+
+class BlockInterleaver {
+ public:
+  /// \p rows x \p cols storage array; capacity() symbols per block.
+  BlockInterleaver(std::uint64_t rows, std::uint64_t cols);
+
+  std::uint64_t rows() const { return rows_; }
+  std::uint64_t cols() const { return cols_; }
+  std::uint64_t capacity() const { return rows_ * cols_; }
+
+  /// Output position of input symbol \p k (row-major in, column-major out).
+  std::uint64_t permute(std::uint64_t k) const;
+  /// Inverse permutation.
+  std::uint64_t inverse(std::uint64_t k) const;
+
+  /// Apply the permutation to a full block (in.size() == capacity()).
+  std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& in) const;
+  std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& in) const;
+
+ private:
+  std::uint64_t rows_;
+  std::uint64_t cols_;
+};
+
+}  // namespace tbi::interleaver

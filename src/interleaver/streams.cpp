@@ -1,0 +1,55 @@
+#include "interleaver/streams.hpp"
+
+namespace tbi::interleaver {
+
+std::uint64_t burst_triangle_side(std::uint64_t total_symbols, unsigned symbol_bits,
+                                  unsigned burst_bytes) {
+  const std::uint64_t total_bits = total_symbols * symbol_bits;
+  const std::uint64_t bursts = div_ceil(total_bits, std::uint64_t{8} * burst_bytes);
+  return triangular_side_for(bursts);
+}
+
+bool WritePhaseStream::next(dram::Request& out) {
+  const std::uint64_t n = mapping_.space().side;
+  if (i_ >= n) return false;
+  if (limit_ != 0 && produced_ >= limit_) return false;
+  out.addr = mapping_.map(i_, j_);
+  out.is_write = true;
+  ++produced_;
+  if (++j_ >= tri_row_length(n, i_)) {
+    j_ = 0;
+    ++i_;
+  }
+  return true;
+}
+
+bool ReadPhaseStream::next(dram::Request& out) {
+  const std::uint64_t n = mapping_.space().side;
+  if (j_ >= n) return false;
+  if (limit_ != 0 && produced_ >= limit_) return false;
+  out.addr = mapping_.map(i_, j_);
+  out.is_write = false;
+  ++produced_;
+  if (++i_ >= tri_col_length(n, j_)) {
+    i_ = 0;
+    ++j_;
+  }
+  return true;
+}
+
+bool StreamingPhaseStream::next(dram::Request& out) {
+  for (int attempts = 0; attempts < 2; ++attempts) {
+    const bool try_write = write_turn_ ? !write_done_ : read_done_;
+    write_turn_ = !write_turn_;
+    if (try_write) {
+      if (write_.next(out)) return true;
+      write_done_ = true;
+    } else {
+      if (read_.next(out)) return true;
+      read_done_ = true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tbi::interleaver

@@ -1,0 +1,84 @@
+/// \file streams.hpp
+/// DRAM request streams for the interleaver's two access phases.
+///
+/// The write phase visits the triangular burst grid row-wise (as code
+/// words arrive from the transmitter chain), the read phase column-wise
+/// (as interleaved bursts leave toward the modulator). Streams generate
+/// addresses lazily through an IndexMapping, so even the 12.5 M-element
+/// configuration never materializes a request vector.
+#pragma once
+
+#include <cstdint>
+
+#include "common/mathutil.hpp"
+#include "dram/stream.hpp"
+#include "mapping/mapping.hpp"
+
+namespace tbi::interleaver {
+
+/// Burst-granular triangle side for a symbol-level interleaver:
+/// ceil(total_symbols * symbol_bits / (8 * burst_bytes)) bursts, rounded
+/// up to the next triangular number's side.
+std::uint64_t burst_triangle_side(std::uint64_t total_symbols, unsigned symbol_bits,
+                                  unsigned burst_bytes);
+
+/// Row-wise walk (write phase). Optionally truncated to max_bursts.
+class WritePhaseStream final : public dram::RequestStream {
+ public:
+  explicit WritePhaseStream(const mapping::IndexMapping& mapping,
+                            std::uint64_t max_bursts = 0)
+      : mapping_(mapping), limit_(max_bursts) {}
+
+  bool next(dram::Request& out) override;
+
+ private:
+  const mapping::IndexMapping& mapping_;
+  std::uint64_t limit_;
+  std::uint64_t i_ = 0;
+  std::uint64_t j_ = 0;
+  std::uint64_t produced_ = 0;
+};
+
+/// Column-wise walk (read phase). Optionally truncated to max_bursts.
+class ReadPhaseStream final : public dram::RequestStream {
+ public:
+  explicit ReadPhaseStream(const mapping::IndexMapping& mapping,
+                           std::uint64_t max_bursts = 0)
+      : mapping_(mapping), limit_(max_bursts) {}
+
+  bool next(dram::Request& out) override;
+
+ private:
+  const mapping::IndexMapping& mapping_;
+  std::uint64_t limit_;
+  std::uint64_t i_ = 0;
+  std::uint64_t j_ = 0;
+  std::uint64_t produced_ = 0;
+};
+
+/// Continuous (double-buffered) operation: while interleaver block k+1 is
+/// written row-wise into one DRAM region, block k is read column-wise from
+/// another. Requests alternate write/read 1:1 (both move the same total
+/// data), so the memory controller sees the realistic mixed stream with
+/// its read/write turnaround penalties instead of two idealized pure
+/// phases. Ends when both walks finish.
+class StreamingPhaseStream final : public dram::RequestStream {
+ public:
+  /// \p write_mapping and \p read_mapping must target disjoint DRAM rows
+  /// (see mapping::RowOffsetMapping).
+  StreamingPhaseStream(const mapping::IndexMapping& write_mapping,
+                       const mapping::IndexMapping& read_mapping,
+                       std::uint64_t max_bursts = 0)
+      : write_(write_mapping, max_bursts), read_(read_mapping, max_bursts) {}
+
+  bool next(dram::Request& out) override;
+
+ private:
+  WritePhaseStream write_;
+  ReadPhaseStream read_;
+  bool write_turn_ = true;
+  bool write_done_ = false;
+  bool read_done_ = false;
+};
+
+}  // namespace tbi::interleaver

@@ -1,0 +1,57 @@
+#include "interleaver/twostage.hpp"
+
+#include <stdexcept>
+
+namespace tbi::interleaver {
+
+TwoStageInterleaver::TwoStageInterleaver(std::uint64_t side_bursts,
+                                         std::uint64_t symbols_per_burst)
+    : stage2_(side_bursts),
+      stage1_(symbols_per_burst, symbols_per_burst),
+      spb_(symbols_per_burst) {
+  if (symbols_per_burst == 0) {
+    throw std::invalid_argument("TwoStageInterleaver: symbols_per_burst must be > 0");
+  }
+}
+
+std::uint64_t TwoStageInterleaver::permute(std::uint64_t k) const {
+  if (k >= capacity_symbols()) throw std::out_of_range("TwoStageInterleaver::permute");
+  const std::uint64_t sb_symbols = spb_ * spb_;
+  const std::uint64_t full_super_blocks = capacity_bursts() / spb_;
+  const std::uint64_t sb = k / sb_symbols;
+
+  // Stage 1: transpose within the super-block so each burst collects one
+  // symbol of every code-word chunk. The (rare) partial tail keeps its
+  // natural order (frames are sized to full super-blocks in practice).
+  std::uint64_t m = k;
+  if (sb < full_super_blocks) {
+    m = sb * sb_symbols + stage1_.permute(k % sb_symbols);
+  }
+
+  // Stage 2: triangular permutation of whole bursts.
+  const std::uint64_t burst = m / spb_;
+  const std::uint64_t offset = m % spb_;
+  return stage2_.permute(burst) * spb_ + offset;
+}
+
+std::vector<std::uint8_t> TwoStageInterleaver::interleave(
+    const std::vector<std::uint8_t>& in) const {
+  if (in.size() != capacity_symbols()) {
+    throw std::invalid_argument("TwoStageInterleaver: bad block size");
+  }
+  std::vector<std::uint8_t> out(in.size());
+  for (std::uint64_t k = 0; k < in.size(); ++k) out[permute(k)] = in[k];
+  return out;
+}
+
+std::vector<std::uint8_t> TwoStageInterleaver::deinterleave(
+    const std::vector<std::uint8_t>& in) const {
+  if (in.size() != capacity_symbols()) {
+    throw std::invalid_argument("TwoStageInterleaver: bad block size");
+  }
+  std::vector<std::uint8_t> out(in.size());
+  for (std::uint64_t k = 0; k < in.size(); ++k) out[k] = in[permute(k)];
+  return out;
+}
+
+}  // namespace tbi::interleaver

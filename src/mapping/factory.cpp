@@ -1,0 +1,45 @@
+#include "mapping/factory.hpp"
+
+#include <stdexcept>
+
+namespace tbi::mapping {
+
+std::unique_ptr<IndexMapping> make_mapping(const std::string& spec,
+                                           const dram::DeviceConfig& device,
+                                           std::uint64_t side) {
+  using dram::AddressLayout;
+  if (spec == "row-major") {
+    return std::make_unique<RowMajorMapping>(device, side, AddressLayout::RoBaCoBg);
+  }
+  if (spec == "row-major/robaco") {
+    return std::make_unique<RowMajorMapping>(device, side, AddressLayout::RoBaCo);
+  }
+  if (spec == "row-major/rocoba") {
+    return std::make_unique<RowMajorMapping>(device, side, AddressLayout::RoCoBa);
+  }
+  if (spec == "row-major/xor") {
+    return std::make_unique<RowMajorMapping>(device, side, AddressLayout::RoBaCoBgXor);
+  }
+  if (spec == "optimized") {
+    return std::make_unique<OptimizedMapping>(device, side);
+  }
+  if (spec == "optimized/diag") {
+    return std::make_unique<OptimizedMapping>(
+        device, side, OptimizedOptions{true, false, false});
+  }
+  if (spec == "optimized/tile") {
+    return std::make_unique<OptimizedMapping>(
+        device, side, OptimizedOptions{false, true, false});
+  }
+  if (spec == "optimized/diag+tile") {
+    return std::make_unique<OptimizedMapping>(
+        device, side, OptimizedOptions{true, true, false});
+  }
+  if (spec == "optimized/none") {
+    return std::make_unique<OptimizedMapping>(
+        device, side, OptimizedOptions{false, false, false});
+  }
+  throw std::invalid_argument("make_mapping: unknown spec '" + spec + "'");
+}
+
+}  // namespace tbi::mapping

@@ -1,0 +1,30 @@
+/// \file factory.hpp
+/// Name-based construction of mappings, used by CLI tools and sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dram/decoder.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/optimized.hpp"
+#include "mapping/rowmajor.hpp"
+
+namespace tbi::mapping {
+
+/// Recognized specs:
+///   "row-major"            packed triangular + Ro-Ba-CoH-Bg-CoL decode
+///   "row-major/robaco"     packed triangular + naive Ro-Ba-Co decode
+///   "row-major/rocoba"     packed triangular + Ro-Co-Ba decode
+///   "row-major/xor"        packed triangular + bank-XOR decode
+///   "optimized"            all three optimizations
+///   "optimized/diag"       diagonal banks only
+///   "optimized/tile"       page tiling only
+///   "optimized/diag+tile"  both, without the column offset
+///   "optimized/none"       all optimizations disabled (square row-major)
+/// Throws std::invalid_argument for unknown specs.
+std::unique_ptr<IndexMapping> make_mapping(const std::string& spec,
+                                           const dram::DeviceConfig& device,
+                                           std::uint64_t side);
+
+}  // namespace tbi::mapping

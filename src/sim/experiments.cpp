@@ -1,0 +1,115 @@
+#include "sim/experiments.hpp"
+
+#include <algorithm>
+
+#include "interleaver/streams.hpp"
+
+namespace tbi::sim {
+
+namespace {
+
+constexpr std::uint64_t kPaperSymbols = 12'500'000;
+constexpr unsigned kPaperSymbolBits = 3;
+
+bool device_selected(const Table1Options& o, const std::string& name) {
+  if (o.devices.empty()) return true;
+  return std::find(o.devices.begin(), o.devices.end(), name) != o.devices.end();
+}
+
+}  // namespace
+
+std::vector<Table1Row> run_table1(const Table1Options& options) {
+  const std::uint64_t symbols =
+      options.total_symbols ? options.total_symbols : kPaperSymbols;
+
+  std::vector<Table1Row> rows;
+  for (const auto& device : dram::standard_configs()) {
+    if (!device_selected(options, device.name)) continue;
+
+    RunConfig rc;
+    rc.device = device;
+    rc.controller.queue_depth = options.queue_depth;
+    if (options.refresh_disabled) {
+      rc.controller.use_device_default_refresh = false;
+      rc.controller.refresh_mode = dram::RefreshMode::Disabled;
+    }
+    rc.side = interleaver::burst_triangle_side(symbols, kPaperSymbolBits,
+                                               device.burst_bytes);
+    rc.max_bursts_per_phase = options.max_bursts_per_phase;
+    rc.check_protocol = options.check_protocol;
+
+    Table1Row row;
+    row.config = device.name;
+
+    rc.mapping_spec = "row-major";
+    const InterleaverRun rm = run_interleaver(rc);
+    row.row_major_write = rm.write.stats.utilization();
+    row.row_major_read = rm.read.stats.utilization();
+
+    rc.mapping_spec = "optimized";
+    const InterleaverRun opt = run_interleaver(rc);
+    row.optimized_write = opt.write.stats.utilization();
+    row.optimized_read = opt.read.stats.utilization();
+
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TextTable format_table1(const std::vector<Table1Row>& rows, const std::string& title) {
+  TextTable t(title);
+  t.set_header({"DRAM Configuration", "Row-Major Write", "Row-Major Read",
+                "Optimized Write", "Optimized Read"});
+  for (const auto& r : rows) {
+    t.add_row({r.config, TextTable::pct(r.row_major_write),
+               TextTable::pct(r.row_major_read), TextTable::pct(r.optimized_write),
+               TextTable::pct(r.optimized_read)});
+  }
+  return t;
+}
+
+std::vector<AblationRow> run_ablation(const dram::DeviceConfig& device,
+                                      std::uint64_t total_symbols,
+                                      std::uint64_t max_bursts_per_phase) {
+  static const char* kVariants[] = {
+      "optimized/none", "optimized/diag", "optimized/tile",
+      "optimized/diag+tile", "optimized"};
+
+  std::vector<AblationRow> rows;
+  for (const char* spec : kVariants) {
+    RunConfig rc;
+    rc.device = device;
+    rc.mapping_spec = spec;
+    rc.side = interleaver::burst_triangle_side(total_symbols, kPaperSymbolBits,
+                                               device.burst_bytes);
+    rc.max_bursts_per_phase = max_bursts_per_phase;
+    const InterleaverRun run = run_interleaver(rc);
+    rows.push_back(AblationRow{run.mapping_name,
+                               run.write.stats.utilization(),
+                               run.read.stats.utilization()});
+  }
+  return rows;
+}
+
+std::vector<DimensionRow> run_dimension_sweep(
+    const dram::DeviceConfig& device, const std::vector<std::uint64_t>& symbol_counts) {
+  std::vector<DimensionRow> rows;
+  for (const std::uint64_t symbols : symbol_counts) {
+    DimensionRow row;
+    row.total_symbols = symbols;
+    row.side_bursts = interleaver::burst_triangle_side(symbols, kPaperSymbolBits,
+                                                       device.burst_bytes);
+    RunConfig rc;
+    rc.device = device;
+    rc.side = row.side_bursts;
+
+    rc.mapping_spec = "row-major";
+    row.row_major_min = run_interleaver(rc).min_utilization();
+    rc.mapping_spec = "optimized";
+    row.optimized_min = run_interleaver(rc).min_utilization();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace tbi::sim

@@ -1,0 +1,68 @@
+/// \file runner.hpp
+/// One-stop simulation entry: run a triangular interleaver's write and
+/// read phase through a mapping on a device and collect bandwidth and
+/// energy results. Shared by tests, examples and every bench binary.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "dram/controller.hpp"
+#include "dram/energy.hpp"
+#include "dram/standards.hpp"
+#include "dram/stats.hpp"
+
+namespace tbi::sim {
+
+struct RunConfig {
+  dram::DeviceConfig device;
+  dram::ControllerConfig controller;
+  std::string mapping_spec = "optimized";  ///< see mapping::make_mapping
+  std::uint64_t side = 0;                  ///< burst triangle side (required)
+  std::uint64_t max_bursts_per_phase = 0;  ///< 0 = simulate the full triangle
+  bool check_protocol = false;  ///< attach the JEDEC checker; throw on violation
+};
+
+struct PhaseResult {
+  dram::PhaseStats stats;
+  dram::EnergyReport energy;
+};
+
+struct InterleaverRun {
+  std::string device_name;
+  std::string mapping_name;
+  PhaseResult write;
+  PhaseResult read;
+
+  /// The paper's figure of merit: the *minimum* of both phases limits the
+  /// interleaver throughput (§I).
+  double min_utilization() const {
+    return std::min(write.stats.utilization(), read.stats.utilization());
+  }
+
+  /// Achievable interleaver throughput in Gbit/s on \p burst_bytes bursts.
+  double throughput_gbps(unsigned burst_bytes) const {
+    return std::min(write.stats.bandwidth_gbps(burst_bytes),
+                    read.stats.bandwidth_gbps(burst_bytes));
+  }
+};
+
+/// Execute write phase then read phase on a fresh controller.
+/// Throws std::runtime_error when check_protocol is set and the command
+/// stream violates any JEDEC constraint.
+InterleaverRun run_interleaver(const RunConfig& config);
+
+/// Convenience: the paper's 12.5 M-element interleaver (3-bit symbols) on
+/// the given device's burst size.
+std::uint64_t paper_side_for(const dram::DeviceConfig& device);
+
+/// Continuous (double-buffered) operation: block k+1 is written while
+/// block k is read from a disjoint DRAM row region, 1:1 interleaved — the
+/// deployment traffic shape, including read/write bus turnarounds. The
+/// paper evaluates the two phases separately because min(write, read)
+/// bounds this mixed rate; run_streaming measures the mixed rate itself.
+/// Returns the single mixed-phase statistics.
+PhaseResult run_streaming(const RunConfig& config);
+
+}  // namespace tbi::sim

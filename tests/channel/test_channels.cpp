@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/bsc.hpp"
+#include "channel/gilbert_elliott.hpp"
+#include "channel/leo.hpp"
+
+namespace tbi::channel {
+namespace {
+
+TEST(CorruptSymbol, AlwaysChangesValueWithinMask) {
+  Rng rng(1);
+  for (unsigned bits : {1u, 3u, 8u}) {
+    for (int i = 0; i < 200; ++i) {
+      std::uint8_t s = static_cast<std::uint8_t>(rng.next_u64());
+      const std::uint8_t before = s;
+      corrupt_symbol(s, bits, rng);
+      EXPECT_NE(s, before);
+      if (bits < 8) {
+        EXPECT_EQ(s >> bits, before >> bits) << "high bits must not change";
+      }
+    }
+  }
+}
+
+TEST(Symmetric, ErrorRateMatches) {
+  SymmetricChannel ch(0.1, 3);
+  Rng rng(7);
+  std::vector<std::uint8_t> data(100000, 0);
+  const auto errors = ch.apply(data, rng);
+  EXPECT_NEAR(static_cast<double>(errors) / data.size(), 0.1, 0.01);
+  std::uint64_t nonzero = 0;
+  for (auto s : data) nonzero += s != 0;
+  EXPECT_EQ(nonzero, errors);
+}
+
+TEST(Symmetric, ZeroAndOneProbabilities) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1000, 0);
+  SymmetricChannel none(0.0, 3);
+  EXPECT_EQ(none.apply(data, rng), 0u);
+  SymmetricChannel all(1.0, 3);
+  EXPECT_EQ(all.apply(data, rng), data.size());
+}
+
+TEST(Symmetric, RejectsBadParams) {
+  EXPECT_THROW(SymmetricChannel(-0.1, 3), std::invalid_argument);
+  EXPECT_THROW(SymmetricChannel(1.1, 3), std::invalid_argument);
+  EXPECT_THROW(SymmetricChannel(0.5, 0), std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryBadFraction) {
+  const auto p = GilbertElliottParams::from_burst_profile(1000, 0.2, 0.5, 3);
+  GilbertElliottChannel ch(p);
+  EXPECT_NEAR(ch.stationary_bad(), 0.2, 1e-9);
+}
+
+TEST(GilbertElliott, ProducesBurstsNotUniformErrors) {
+  // Same average error rate as a BSC, but errors must cluster: compare the
+  // number of error-run boundaries; bursty channels have far fewer.
+  const double mean_burst = 500;
+  const auto p = GilbertElliottParams::from_burst_profile(mean_burst, 0.1, 1.0, 3);
+  GilbertElliottChannel ge(p);
+  Rng rng(11);
+  std::vector<std::uint8_t> data(200000, 0);
+  const auto ge_errors = ge.apply(data, rng);
+  ASSERT_GT(ge_errors, 1000u);
+
+  std::uint64_t transitions = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    transitions += (data[i] != 0) != (data[i - 1] != 0);
+  }
+  // A memoryless channel at the same rate would have ~2*rate*(1-rate)*N
+  // transitions; the burst channel has ~2*N/(mean_burst+mean_gap).
+  const double rate = static_cast<double>(ge_errors) / data.size();
+  const double memoryless = 2 * rate * (1 - rate) * data.size();
+  EXPECT_LT(static_cast<double>(transitions), memoryless / 10);
+}
+
+TEST(GilbertElliott, MeanBurstLengthRoughlyMatches) {
+  const double mean_burst = 200;
+  const auto p = GilbertElliottParams::from_burst_profile(mean_burst, 0.1, 1.0, 3);
+  GilbertElliottChannel ge(p);
+  Rng rng(23);
+  std::vector<std::uint8_t> data(500000, 0);
+  ge.apply(data, rng);
+  // Measure mean run length of corrupted symbols.
+  std::uint64_t runs = 0, in_run = 0, total = 0;
+  for (auto s : data) {
+    if (s != 0) {
+      ++total;
+      if (!in_run) ++runs, in_run = 1;
+    } else {
+      in_run = 0;
+    }
+  }
+  ASSERT_GT(runs, 50u);
+  const double measured = static_cast<double>(total) / static_cast<double>(runs);
+  EXPECT_NEAR(measured, mean_burst, mean_burst * 0.35);
+}
+
+TEST(GilbertElliott, RejectsBadProfiles) {
+  EXPECT_THROW(GilbertElliottParams::from_burst_profile(0.5, 0.1, 0.5, 3),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertElliottParams::from_burst_profile(100, 0.0, 0.5, 3),
+               std::invalid_argument);
+  GilbertElliottParams p;
+  p.p_gb = 1.5;
+  EXPECT_THROW(GilbertElliottChannel{p}, std::invalid_argument);
+}
+
+TEST(Leo, FadeDutyCycleMatchesTarget) {
+  LeoChannelParams p;
+  p.fade_probability = 0.1;
+  p.fade_depth_error_rate = 1.0;
+  p.symbols_per_sample = 256;
+  // Very short coherence so the 4M-symbol window spans hundreds of
+  // independent fade intervals and the duty cycle concentrates.
+  p.coherence_time_s = 2e-7;
+  LeoFadingChannel ch(p);
+  Rng rng(5);
+  std::vector<std::uint8_t> data(4'000'000, 0);
+  const auto errors = ch.apply(data, rng);
+  EXPECT_NEAR(static_cast<double>(errors) / data.size(), 0.1, 0.05);
+}
+
+TEST(Leo, CoherenceProducesLongFades) {
+  // With a 2 ms coherence time at 50 Gsym/s, fades span millions of
+  // symbols — the paper's motivation for huge interleavers.
+  LeoChannelParams p;  // defaults: 2 ms, 50 Gsym/s
+  LeoFadingChannel ch(p);
+  EXPECT_GT(ch.rho(), 0.99) << "power process must be strongly correlated";
+  Rng rng(17);
+  std::vector<std::uint8_t> data(4'000'000, 0);
+  ch.apply(data, rng);
+  // Longest error run should be large when any fade occurs.
+  std::uint64_t longest = 0, cur = 0;
+  for (auto s : data) {
+    cur = s != 0 ? cur + 1 : 0;
+    longest = std::max(longest, cur);
+  }
+  if (longest > 0) EXPECT_GT(longest, 10000u);
+}
+
+TEST(Leo, RejectsBadParams) {
+  LeoChannelParams p;
+  p.fade_probability = 0.0;
+  EXPECT_THROW(LeoFadingChannel{p}, std::invalid_argument);
+  p = LeoChannelParams{};
+  p.symbols_per_sample = 0;
+  EXPECT_THROW(LeoFadingChannel{p}, std::invalid_argument);
+  p = LeoChannelParams{};
+  p.coherence_time_s = 0;
+  EXPECT_THROW(LeoFadingChannel{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tbi::channel

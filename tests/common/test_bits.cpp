@@ -1,0 +1,89 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbi {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Ilog2KnownValues) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(255), 7u);
+  EXPECT_EQ(ilog2(256), 8u);
+  EXPECT_EQ(ilog2(~0ULL), 63u);
+}
+
+TEST(Bits, Clog2RoundsUp) {
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(4), 2u);
+  EXPECT_EQ(clog2(5), 3u);
+  EXPECT_EQ(clog2(1ULL << 40), 40u);
+  EXPECT_EQ(clog2((1ULL << 40) + 1), 41u);
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(63), (1ULL << 63) - 1);
+}
+
+TEST(Bits, ExtractDepositRoundTrip) {
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  for (unsigned pos = 0; pos < 64; pos += 7) {
+    for (unsigned cnt = 1; cnt + pos <= 64; cnt += 9) {
+      const std::uint64_t field = extract_bits(v, pos, cnt);
+      const std::uint64_t rebuilt = deposit_bits(v, pos, cnt, field);
+      EXPECT_EQ(rebuilt, v) << "pos=" << pos << " cnt=" << cnt;
+    }
+  }
+}
+
+TEST(Bits, DepositOverwrites) {
+  EXPECT_EQ(deposit_bits(0xFF00, 4, 4, 0xA), 0xFFA0u);
+  EXPECT_EQ(deposit_bits(0, 60, 4, 0xF), 0xF000000000000000ULL);
+}
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity(0), 0u);
+  EXPECT_EQ(parity(1), 1u);
+  EXPECT_EQ(parity(3), 0u);
+  EXPECT_EQ(parity(7), 1u);
+  EXPECT_EQ(parity(0xFFFFFFFFFFFFFFFFULL), 0u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0x1, 64), 1ULL << 63);
+  // Involution property on a sample of widths/values.
+  for (unsigned n : {1u, 5u, 17u, 33u, 64u}) {
+    for (std::uint64_t v : {0ULL, 1ULL, 0x123456789ABCDEFULL}) {
+      const std::uint64_t masked = n == 64 ? v : (v & low_mask(n));
+      EXPECT_EQ(reverse_bits(reverse_bits(masked, n), n), masked);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbi

@@ -1,0 +1,102 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbi {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_double(), 3.5);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  const Json j = Json::parse(R"({"a": [1, 2, {"b": "x"}], "c": {"d": true}})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_EQ(j.at("a").as_array()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(j.at("c").at("d").as_bool());
+}
+
+TEST(Json, ParseEscapes) {
+  const Json j = Json::parse(R"("line\nbreak\t\"q\" \\ A")");
+  EXPECT_EQ(j.as_string(), "line\nbreak\t\"q\" \\ A");
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json j = Json::parse(" {\n \"k\" :\t[ 1 ,2 ] }\r\n");
+  EXPECT_EQ(j.at("k").as_array().size(), 2u);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, TypeErrorsThrow) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.at("missing"), JsonError);
+  EXPECT_THROW(j.at("a").as_string(), JsonError);
+}
+
+TEST(Json, GetOrFallbacks) {
+  const Json j = Json::parse(R"({"x": 2.5, "s": "v", "b": true})");
+  EXPECT_DOUBLE_EQ(j.get_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(j.get_or("y", 7.0), 7.0);
+  EXPECT_EQ(j.get_or("s", std::string("d")), "v");
+  EXPECT_EQ(j.get_or("t", std::string("d")), "d");
+  EXPECT_TRUE(j.get_or("b", false));
+  EXPECT_TRUE(j.get_or("nope", true));
+}
+
+TEST(Json, BuilderInterface) {
+  Json j;
+  j["name"] = "DDR4";
+  j["banks"] = 16;
+  Json arr;
+  arr.push_back(1);
+  arr.push_back("two");
+  j["list"] = arr;
+  EXPECT_EQ(j.at("name").as_string(), "DDR4");
+  EXPECT_EQ(j.at("banks").as_int(), 16);
+  EXPECT_EQ(j.at("list").as_array()[1].as_string(), "two");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string src =
+      R"({"arr":[1,2.5,"s",null,true],"num":-42,"obj":{"inner":[{"k":"v"}]}})";
+  const Json j = Json::parse(src);
+  const Json rt = Json::parse(j.dump());
+  EXPECT_EQ(rt.at("num").as_int(), -42);
+  EXPECT_EQ(rt.at("arr").as_array().size(), 5u);
+  EXPECT_EQ(rt.at("obj").at("inner").as_array()[0].at("k").as_string(), "v");
+  // Pretty printing parses back too.
+  const Json rt2 = Json::parse(j.dump(2));
+  EXPECT_EQ(rt2.at("arr").as_array()[2].as_string(), "s");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const Json j(std::string("a\nb\x01"));
+  const std::string out = j.dump();
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json::parse(out).as_string(), "a\nb\x01");
+}
+
+TEST(Json, IntegersDumpWithoutExponent) {
+  EXPECT_EQ(Json(12500000).dump(), "12500000");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+}  // namespace
+}  // namespace tbi

@@ -1,0 +1,87 @@
+#include "common/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbi {
+namespace {
+
+TEST(MathUtil, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0u);
+  EXPECT_EQ(div_ceil(1, 4), 1u);
+  EXPECT_EQ(div_ceil(4, 4), 1u);
+  EXPECT_EQ(div_ceil(5, 4), 2u);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+}
+
+TEST(MathUtil, TriangularNumber) {
+  EXPECT_EQ(triangular_number(0), 0u);
+  EXPECT_EQ(triangular_number(1), 1u);
+  EXPECT_EQ(triangular_number(4), 10u);
+  EXPECT_EQ(triangular_number(5000), 12502500u);  // the paper's 12.5 M
+}
+
+TEST(MathUtil, IsqrtExactAndFloor) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1ULL << 62), 1ULL << 31);
+  for (std::uint64_t v = 0; v < 3000; ++v) {
+    const std::uint64_t r = isqrt(v);
+    EXPECT_LE(r * r, v);
+    EXPECT_GT((r + 1) * (r + 1), v);
+  }
+}
+
+TEST(MathUtil, TriangularSideFor) {
+  EXPECT_EQ(triangular_side_for(0), 0u);
+  EXPECT_EQ(triangular_side_for(1), 1u);
+  EXPECT_EQ(triangular_side_for(2), 2u);
+  EXPECT_EQ(triangular_side_for(3), 2u);
+  EXPECT_EQ(triangular_side_for(4), 3u);
+  EXPECT_EQ(triangular_side_for(12502500), 5000u);
+  EXPECT_EQ(triangular_side_for(12502501), 5001u);
+  // Minimality property across a range.
+  for (std::uint64_t e = 1; e < 5000; e += 13) {
+    const std::uint64_t n = triangular_side_for(e);
+    EXPECT_GE(triangular_number(n), e);
+    EXPECT_LT(triangular_number(n - 1), e);
+  }
+}
+
+TEST(MathUtil, TriRowOffsetMatchesCumulativeLengths) {
+  const std::uint64_t n = 57;
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(tri_row_offset(n, i), acc);
+    acc += tri_row_length(n, i);
+  }
+  EXPECT_EQ(acc, triangular_number(n));
+  EXPECT_EQ(tri_row_offset(n, n), triangular_number(n));
+}
+
+TEST(MathUtil, TriangleGeometrySymmetry) {
+  const std::uint64_t n = 23;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(tri_row_length(n, i), tri_col_length(n, i));
+    for (std::uint64_t j = 0; j < n; ++j) {
+      // (i,j) inside iff (j,i) inside: the upper-left triangle is symmetric.
+      EXPECT_EQ(tri_contains(n, i, j), tri_contains(n, j, i));
+    }
+  }
+  EXPECT_TRUE(tri_contains(n, 0, n - 1));
+  EXPECT_TRUE(tri_contains(n, n - 1, 0));
+  EXPECT_FALSE(tri_contains(n, 1, n - 1));
+  EXPECT_FALSE(tri_contains(n, n, 0));
+}
+
+}  // namespace
+}  // namespace tbi

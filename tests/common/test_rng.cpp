@@ -1,0 +1,83 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tbi {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(7);
+  const auto x0 = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), x0);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.uniform(7)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // each residue ~1000 expected; crude uniformity
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Rng, UniformDoubleRange) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(13);
+  const double p = 0.1;
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.geometric(p));
+  // mean of failures-before-success = (1-p)/p = 9
+  EXPECT_NEAR(sum / trials, 9.0, 0.5);
+}
+
+TEST(Rng, GeometricPOne) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace tbi

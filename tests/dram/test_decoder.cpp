@@ -1,0 +1,111 @@
+#include "dram/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace tbi::dram {
+namespace {
+
+class DecoderBijectivity
+    : public ::testing::TestWithParam<std::tuple<std::string, AddressLayout>> {};
+
+TEST_P(DecoderBijectivity, RoundTripAndInBounds) {
+  const auto& [device_name, layout] = GetParam();
+  const DeviceConfig& dev = *find_config(device_name);
+  const AddressDecoder dec(dev, layout);
+
+  // Sample a dense prefix plus strided high addresses.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  const std::uint64_t dense = 4096;
+  for (std::uint64_t idx = 0; idx < dense; ++idx) {
+    const Address a = dec.decode(idx);
+    EXPECT_LT(a.bank, dev.banks);
+    EXPECT_LT(a.row, dev.rows_per_bank);
+    EXPECT_LT(a.column, dev.columns_per_page);
+    EXPECT_EQ(dec.encode(a), idx);
+    EXPECT_TRUE(seen.insert({a.bank, a.row, a.column}).second)
+        << "collision at idx " << idx;
+  }
+  for (std::uint64_t idx = 0; idx < dec.capacity_bursts(); idx += 999331) {
+    EXPECT_EQ(dec.encode(dec.decode(idx)), idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevicesAllLayouts, DecoderBijectivity,
+    ::testing::Combine(
+        ::testing::Values("DDR3-1600", "DDR4-3200", "DDR5-6400", "LPDDR4-4266",
+                          "LPDDR5-8533"),
+        ::testing::Values(AddressLayout::RoBaCoBg, AddressLayout::RoBaCo,
+                          AddressLayout::RoCoBa, AddressLayout::RoBaCoBgXor)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param) + "_";
+      switch (std::get<1>(info.param)) {
+        case AddressLayout::RoBaCoBg: n += "RoBaCoBg"; break;
+        case AddressLayout::RoBaCo: n += "RoBaCo"; break;
+        case AddressLayout::RoCoBa: n += "RoCoBa"; break;
+        case AddressLayout::RoBaCoBgXor: n += "Xor"; break;
+      }
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Decoder, RoBaCoBgRotatesBankGroupEveryBurst) {
+  const DeviceConfig& dev = *find_config("DDR4-3200");
+  const AddressDecoder dec(dev, AddressLayout::RoBaCoBg);
+  for (std::uint64_t idx = 0; idx < 64; ++idx) {
+    const Address a = dec.decode(idx);
+    EXPECT_EQ(a.bank % dev.bank_groups, idx % dev.bank_groups)
+        << "sequential bursts must round-robin bank groups";
+  }
+}
+
+TEST(Decoder, RoBaCoKeepsSequentialStreamInOneBank) {
+  const DeviceConfig& dev = *find_config("DDR4-3200");
+  const AddressDecoder dec(dev, AddressLayout::RoBaCo);
+  const Address first = dec.decode(0);
+  for (std::uint64_t idx = 1; idx < dev.columns_per_page; ++idx) {
+    const Address a = dec.decode(idx);
+    EXPECT_EQ(a.bank, first.bank);
+    EXPECT_EQ(a.row, first.row);
+    EXPECT_EQ(a.column, idx);
+  }
+  EXPECT_NE(dec.decode(dev.columns_per_page).bank, first.bank);
+}
+
+TEST(Decoder, RoCoBaRotatesAllBanks) {
+  const DeviceConfig& dev = *find_config("DDR3-1600");
+  const AddressDecoder dec(dev, AddressLayout::RoCoBa);
+  for (std::uint64_t idx = 0; idx < 32; ++idx) {
+    EXPECT_EQ(dec.decode(idx).bank, idx % dev.banks);
+  }
+}
+
+TEST(Decoder, XorLayoutPermutesBanksAcrossRows) {
+  const DeviceConfig& dev = *find_config("DDR4-3200");
+  const AddressDecoder dec(dev, AddressLayout::RoBaCoBgXor);
+  // Same in-row offset, consecutive rows -> different banks (XOR fold).
+  const std::uint64_t row_span =
+      std::uint64_t{dev.columns_per_page} * dev.banks;
+  const Address r0 = dec.decode(0);
+  const Address r1 = dec.decode(row_span);
+  const Address r2 = dec.decode(2 * row_span);
+  EXPECT_EQ(r0.bank % dev.bank_groups, r1.bank % dev.bank_groups)
+      << "xor fold must not change the bank group bits";
+  EXPECT_NE(r0.bank, r1.bank);
+  EXPECT_NE(r1.bank, r2.bank);
+}
+
+TEST(Decoder, ThrowsBeyondCapacity) {
+  const DeviceConfig& dev = *find_config("DDR3-800");
+  const AddressDecoder dec(dev, AddressLayout::RoBaCoBg);
+  EXPECT_NO_THROW(dec.decode(dec.capacity_bursts() - 1));
+  EXPECT_THROW(dec.decode(dec.capacity_bursts()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tbi::dram

@@ -1,0 +1,74 @@
+#include "dram/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/standards.hpp"
+
+namespace tbi::dram {
+namespace {
+
+PhaseStats make_stats(std::uint64_t reads, std::uint64_t writes,
+                      std::uint64_t acts, std::uint64_t refs, Ps elapsed) {
+  PhaseStats s;
+  s.reads = reads;
+  s.writes = writes;
+  s.bursts = reads + writes;
+  s.activates = acts;
+  s.refreshes = refs;
+  s.start = 0;
+  s.end = elapsed;
+  s.busy = 0;
+  return s;
+}
+
+TEST(Energy, ComponentsAddUp) {
+  const DeviceConfig& dev = *find_config("DDR4-3200");
+  const auto s = make_stats(1000, 500, 100, 10, 1000000);
+  const auto r = compute_energy(dev, s, RefreshMode::AllBank);
+  EXPECT_DOUBLE_EQ(r.total_nj(), r.act_pre_nj + r.rd_nj + r.wr_nj +
+                                     r.refresh_nj + r.background_nj);
+  EXPECT_NEAR(r.rd_nj, 1e-3 * dev.energy.rd_pj * 1000, 1e-9);
+  EXPECT_NEAR(r.wr_nj, 1e-3 * dev.energy.wr_pj * 500, 1e-9);
+  EXPECT_NEAR(r.act_pre_nj, 1e-3 * dev.energy.act_pre_pj * 100, 1e-9);
+}
+
+TEST(Energy, BackgroundScalesWithTime) {
+  const DeviceConfig& dev = *find_config("DDR4-3200");
+  const auto a = compute_energy(dev, make_stats(0, 0, 0, 0, 1000000),
+                                RefreshMode::Disabled);
+  const auto b = compute_energy(dev, make_stats(0, 0, 0, 0, 2000000),
+                                RefreshMode::Disabled);
+  EXPECT_NEAR(b.background_nj, 2 * a.background_nj, 1e-9);
+  // 100 mW for 1 us = 100 nJ (DDR4-3200 background is 110 mW).
+  EXPECT_NEAR(a.background_nj, dev.energy.background_mw, 1e-9);
+}
+
+TEST(Energy, GroupRefreshScaledToAllBankEquivalent)  {
+  const DeviceConfig& dev = *find_config("LPDDR4-4266");
+  const auto s = make_stats(0, 0, 0, dev.banks, 0);  // one full rotation
+  const auto pb = compute_energy(dev, s, RefreshMode::PerBank);
+  PhaseStats one_ab = make_stats(0, 0, 0, 1, 0);
+  const auto ab = compute_energy(dev, one_ab, RefreshMode::AllBank);
+  EXPECT_NEAR(pb.refresh_nj, ab.refresh_nj, 1e-9)
+      << "a full per-bank rotation equals one all-bank refresh";
+}
+
+TEST(Energy, MoreActivatesCostMore) {
+  const DeviceConfig& dev = *find_config("LPDDR5-8533");
+  const auto low = compute_energy(dev, make_stats(1000, 0, 10, 0, 1000000),
+                                  RefreshMode::Disabled);
+  const auto high = compute_energy(dev, make_stats(1000, 0, 900, 0, 1000000),
+                                   RefreshMode::Disabled);
+  EXPECT_GT(high.total_nj(), low.total_nj());
+}
+
+TEST(Energy, NjPerByte) {
+  const DeviceConfig& dev = *find_config("DDR3-800");
+  const auto r = compute_energy(dev, make_stats(100, 0, 0, 0, 0),
+                                RefreshMode::Disabled);
+  EXPECT_GT(r.nj_per_byte(100 * dev.burst_bytes), 0.0);
+  EXPECT_DOUBLE_EQ(r.nj_per_byte(0), 0.0);
+}
+
+}  // namespace
+}  // namespace tbi::dram

@@ -1,0 +1,182 @@
+#include "dram/standards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tbi::dram {
+namespace {
+
+TEST(Standards, ExactlyThePapersTenConfigurations) {
+  const auto& configs = standard_configs();
+  ASSERT_EQ(configs.size(), 10u);
+  const std::vector<std::string> expected = {
+      "DDR3-800",    "DDR3-1600",  "DDR4-1600",   "DDR4-3200",  "DDR5-3200",
+      "DDR5-6400",   "LPDDR4-2133", "LPDDR4-4266", "LPDDR5-4267", "LPDDR5-8533"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(configs[i].name, expected[i]) << "Table I row order";
+  }
+}
+
+TEST(Standards, FindConfig) {
+  EXPECT_NE(find_config("DDR4-3200"), nullptr);
+  EXPECT_EQ(find_config("DDR4-3200")->standard, Standard::DDR4);
+  EXPECT_EQ(find_config("DDR6-9999"), nullptr);
+}
+
+TEST(Standards, AllValidate) {
+  for (const auto& c : standard_configs()) EXPECT_NO_THROW(c.validate()) << c.name;
+}
+
+TEST(Standards, BankGroupsMatchStandard) {
+  for (const auto& c : standard_configs()) {
+    switch (c.standard) {
+      case Standard::DDR3:
+      case Standard::LPDDR4:
+        EXPECT_EQ(c.bank_groups, 1u) << c.name << " has no bank groups";
+        break;
+      case Standard::DDR4:
+        EXPECT_EQ(c.bank_groups, 4u) << c.name;
+        EXPECT_EQ(c.banks, 16u) << c.name;
+        break;
+      case Standard::DDR5:
+        EXPECT_EQ(c.bank_groups, 8u) << c.name;
+        EXPECT_EQ(c.banks, 32u) << c.name;
+        break;
+      case Standard::LPDDR5:
+        EXPECT_EQ(c.bank_groups, 4u) << c.name;
+        EXPECT_EQ(c.banks, 16u) << c.name;
+        break;
+    }
+  }
+}
+
+TEST(Standards, FasterGradeOfEachPairHasShorterBurst) {
+  const auto& c = standard_configs();
+  for (std::size_t i = 0; i + 1 < c.size(); i += 2) {
+    EXPECT_EQ(c[i].standard, c[i + 1].standard);
+    EXPECT_LT(c[i].data_rate_mts, c[i + 1].data_rate_mts);
+    EXPECT_GT(c[i].burst_time, c[i + 1].burst_time);
+    // Core row timings are specified in nanoseconds, so they must not
+    // scale down proportionally with the data rate (bin-to-bin jitter of a
+    // few ns is normal).
+    EXPECT_LT(c[i + 1].timing.tRCD, c[i].timing.tRCD * 3 / 2) << c[i].name;
+    EXPECT_GT(c[i + 1].timing.tRCD, c[i].timing.tRCD / 2) << c[i].name;
+  }
+}
+
+TEST(Standards, BankGroupStandardsSeparateCcd) {
+  for (const auto& c : standard_configs()) {
+    if (c.bank_groups > 1 && c.data_rate_mts >= 3200) {
+      EXPECT_GE(c.timing.tCCD_L, c.timing.tCCD_S) << c.name;
+    }
+    if (c.bank_groups == 1) {
+      EXPECT_EQ(c.timing.tCCD_L, c.timing.tCCD_S) << c.name;
+    }
+  }
+}
+
+TEST(Standards, PeakBandwidthMatchesDataRate) {
+  // 64-bit-equivalent channels: peak = burst_bytes / burst_time.
+  const auto* ddr4 = find_config("DDR4-3200");
+  EXPECT_NEAR(ddr4->peak_bandwidth_gbps(), 204.8, 0.1);
+  const auto* lp5 = find_config("LPDDR5-8533");
+  EXPECT_NEAR(lp5->peak_bandwidth_gbps(), 8000.0 * 32 / 1875, 0.1);
+}
+
+TEST(Standards, RefreshDefaultsFollowStandard) {
+  EXPECT_EQ(find_config("DDR3-800")->default_refresh, RefreshMode::AllBank);
+  EXPECT_EQ(find_config("DDR4-3200")->default_refresh, RefreshMode::AllBank);
+  EXPECT_EQ(find_config("DDR5-6400")->default_refresh, RefreshMode::SameBank);
+  EXPECT_EQ(find_config("LPDDR4-2133")->default_refresh, RefreshMode::PerBank);
+  EXPECT_EQ(find_config("LPDDR5-8533")->default_refresh, RefreshMode::PerBank);
+}
+
+TEST(Standards, CapacityIsPlausible) {
+  for (const auto& c : standard_configs()) {
+    EXPECT_GE(c.capacity_bytes(), 1ULL << 30) << c.name;  // >= 1 GiB
+    EXPECT_LE(c.capacity_bytes(), 1ULL << 36) << c.name;  // <= 64 GiB
+    // Must fit the paper's interleaver: 12.5 M x 3 bit < capacity.
+    EXPECT_GT(c.capacity_bytes() * 8, 12'500'000ULL * 3) << c.name;
+  }
+}
+
+TEST(Standards, JsonRoundTripPreservesEverything) {
+  for (const auto& c : standard_configs()) {
+    const Json j = config_to_json(c);
+    const DeviceConfig back = config_from_json(j);
+    EXPECT_EQ(back.name, c.name);
+    EXPECT_EQ(back.standard, c.standard);
+    EXPECT_EQ(back.banks, c.banks);
+    EXPECT_EQ(back.bank_groups, c.bank_groups);
+    EXPECT_EQ(back.columns_per_page, c.columns_per_page);
+    EXPECT_EQ(back.rows_per_bank, c.rows_per_bank);
+    EXPECT_EQ(back.burst_bytes, c.burst_bytes);
+    EXPECT_EQ(back.burst_time, c.burst_time);
+    EXPECT_EQ(back.default_refresh, c.default_refresh);
+    EXPECT_EQ(back.timing.tRCD, c.timing.tRCD);
+    EXPECT_EQ(back.timing.tFAW, c.timing.tFAW);
+    EXPECT_EQ(back.timing.tCCD_L, c.timing.tCCD_L);
+    EXPECT_EQ(back.timing.tRFC_grp, c.timing.tRFC_grp);
+    EXPECT_DOUBLE_EQ(back.energy.act_pre_pj, c.energy.act_pre_pj);
+  }
+}
+
+TEST(Standards, ValidateRejectsBrokenGeometry) {
+  DeviceConfig c = *find_config("DDR4-3200");
+  c.banks = 12;  // not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = *find_config("DDR4-3200");
+  c.bank_groups = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = *find_config("DDR4-3200");
+  c.columns_per_page = 100;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = *find_config("DDR4-3200");
+  c.burst_time = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+
+TEST(Standards, ExtendedGradesValidateAndResolve) {
+  const auto& ext = extended_configs();
+  ASSERT_EQ(ext.size(), 5u);
+  for (const auto& c : ext) {
+    EXPECT_NO_THROW(c.validate()) << c.name;
+    EXPECT_EQ(find_config(c.name), &c) << c.name;
+  }
+  // Extended grades sit strictly between the paper's two grades of the
+  // same standard in data rate.
+  EXPECT_EQ(find_config("DDR4-2400")->standard, Standard::DDR4);
+  EXPECT_GT(find_config("DDR4-2400")->data_rate_mts,
+            find_config("DDR4-1600")->data_rate_mts);
+  EXPECT_LT(find_config("DDR4-2400")->data_rate_mts,
+            find_config("DDR4-3200")->data_rate_mts);
+  EXPECT_GT(find_config("LPDDR5-6400")->burst_time,
+            find_config("LPDDR5-8533")->burst_time);
+}
+
+TEST(Standards, ExtendedGradesShareGeometryWithTheirFamily) {
+  for (const auto& c : extended_configs()) {
+    // Find the paper sibling of the same standard and compare geometry.
+    for (const auto& base : standard_configs()) {
+      if (base.standard != c.standard) continue;
+      EXPECT_EQ(c.banks, base.banks) << c.name;
+      EXPECT_EQ(c.bank_groups, base.bank_groups) << c.name;
+      EXPECT_EQ(c.columns_per_page, base.columns_per_page) << c.name;
+      EXPECT_EQ(c.burst_bytes, base.burst_bytes) << c.name;
+    }
+  }
+}
+
+TEST(Standards, ExtendedGradesJsonRoundTrip) {
+  for (const auto& c : extended_configs()) {
+    const DeviceConfig back = config_from_json(config_to_json(c));
+    EXPECT_EQ(back.name, c.name);
+    EXPECT_EQ(back.burst_time, c.burst_time);
+    EXPECT_EQ(back.timing.tFAW, c.timing.tFAW);
+  }
+}
+
+}  // namespace
+}  // namespace tbi::dram

@@ -1,0 +1,74 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/standards.hpp"
+
+namespace tbi::dram {
+namespace {
+
+TimingParams valid_params() {
+  return find_config("DDR4-3200")->timing;
+}
+
+TEST(Timing, StandardParamsValidate) {
+  EXPECT_NO_THROW(valid_params().validate());
+}
+
+TEST(Timing, RejectsZeroClock) {
+  TimingParams t = valid_params();
+  t.tCK = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsInconsistentRowCycle) {
+  TimingParams t = valid_params();
+  t.tRC = t.tRAS + t.tRP - 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsRasShorterThanRcd) {
+  TimingParams t = valid_params();
+  t.tRAS = t.tRCD - 1;
+  t.tRC = t.tRAS + t.tRP;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsInvertedRrd) {
+  TimingParams t = valid_params();
+  t.tRRD_L = t.tRRD_S - 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsInvertedCcd) {
+  TimingParams t = valid_params();
+  t.tCCD_L = t.tCCD_S - 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsFawBelowRrd) {
+  TimingParams t = valid_params();
+  t.tFAW = t.tRRD_S - 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsRefreshWithoutRfc) {
+  TimingParams t = valid_params();
+  t.tRFC_ab = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RejectsRefcIntervalBelowRfc) {
+  TimingParams t = valid_params();
+  t.tREFI = t.tRFC_ab;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Timing, RefreshDisabledIsLegal) {
+  TimingParams t = valid_params();
+  t.tREFI = 0;
+  EXPECT_NO_THROW(t.validate());
+}
+
+}  // namespace
+}  // namespace tbi::dram

@@ -1,0 +1,145 @@
+#include "fec/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace tbi::fec {
+namespace {
+
+std::vector<std::uint8_t> random_data(unsigned k, Rng& rng) {
+  std::vector<std::uint8_t> d(k);
+  for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u64());
+  return d;
+}
+
+TEST(ReedSolomon, EncodeIsSystematic) {
+  Rng rng(1);
+  const ReedSolomon rs(255, 223);
+  const auto data = random_data(rs.k(), rng);
+  const auto word = rs.encode(data);
+  ASSERT_EQ(word.size(), rs.n());
+  for (unsigned i = 0; i < rs.k(); ++i) EXPECT_EQ(word[i], data[i]);
+}
+
+TEST(ReedSolomon, EncodedWordsAreValid) {
+  Rng rng(2);
+  for (auto [n, k] : {std::pair{255u, 223u}, {255u, 239u}, {63u, 47u}, {15u, 7u}}) {
+    const ReedSolomon rs(n, k);
+    for (int trial = 0; trial < 5; ++trial) {
+      EXPECT_TRUE(rs.is_codeword(rs.encode(random_data(k, rng))));
+    }
+  }
+}
+
+TEST(ReedSolomon, DecodeCleanWordNoOp) {
+  Rng rng(3);
+  const ReedSolomon rs(255, 223);
+  auto word = rs.encode(random_data(rs.k(), rng));
+  const auto copy = word;
+  const auto res = rs.decode(word);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.corrected_symbols, 0u);
+  EXPECT_EQ(word, copy);
+}
+
+class RsCorrection : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(RsCorrection, CorrectsUpToTErrors) {
+  const auto [n, k] = GetParam();
+  const ReedSolomon rs(n, k);
+  Rng rng(n * 1000 + k);
+  for (unsigned errors = 1; errors <= rs.t(); ++errors) {
+    const auto data = random_data(rs.k(), rng);
+    const auto clean = rs.encode(data);
+    auto word = clean;
+    // Inject `errors` distinct-position symbol errors.
+    std::vector<unsigned> positions;
+    while (positions.size() < errors) {
+      const unsigned p = static_cast<unsigned>(rng.uniform(rs.n()));
+      bool dup = false;
+      for (unsigned q : positions) dup |= q == p;
+      if (!dup) positions.push_back(p);
+    }
+    for (unsigned p : positions) {
+      std::uint8_t flip = 0;
+      while (flip == 0) flip = static_cast<std::uint8_t>(rng.next_u64());
+      word[p] ^= flip;
+    }
+    const auto res = rs.decode(word);
+    EXPECT_TRUE(res.ok) << "errors=" << errors;
+    EXPECT_EQ(res.corrected_symbols, errors);
+    EXPECT_EQ(word, clean);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeSizes, RsCorrection,
+    ::testing::Values(std::tuple{255u, 223u}, std::tuple{255u, 239u},
+                      std::tuple{255u, 191u}, std::tuple{63u, 31u},
+                      std::tuple{31u, 15u}, std::tuple{15u, 7u}),
+    [](const auto& info) {
+      return "RS_" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ReedSolomon, DetectsBeyondTErrors) {
+  // t+1 errors are uncorrectable; decode must fail (or at worst
+  // miscorrect into a *valid* different word — rare; with these seeds it
+  // must report failure).
+  const ReedSolomon rs(255, 223);
+  Rng rng(99);
+  const auto data = random_data(rs.k(), rng);
+  auto word = rs.encode(data);
+  const auto clean = word;
+  unsigned injected = 0;
+  for (unsigned p = 0; injected < rs.t() + 5; p += 3, ++injected) {
+    word[p] ^= 0x5A;
+  }
+  const auto res = rs.decode(word);
+  if (res.ok) {
+    // If decoding "succeeded" it must at least be a valid code word.
+    EXPECT_TRUE(rs.is_codeword(word));
+    EXPECT_NE(word, clean) << "cannot possibly recover the original";
+  }
+}
+
+TEST(ReedSolomon, BurstOfTConsecutiveErrorsCorrected) {
+  // Relevant case for interleaving: bursts inside one code word.
+  const ReedSolomon rs(255, 223);
+  Rng rng(7);
+  const auto data = random_data(rs.k(), rng);
+  const auto clean = rs.encode(data);
+  auto word = clean;
+  for (unsigned p = 40; p < 40 + rs.t(); ++p) word[p] ^= 0xFF;
+  const auto res = rs.decode(word);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(word, clean);
+}
+
+TEST(ReedSolomon, ParityOnlyErrorsCorrected) {
+  const ReedSolomon rs(63, 47);
+  Rng rng(13);
+  const auto clean = rs.encode(random_data(rs.k(), rng));
+  auto word = clean;
+  word[rs.n() - 1] ^= 1;
+  word[rs.n() - 2] ^= 0x80;
+  EXPECT_TRUE(rs.decode(word).ok);
+  EXPECT_EQ(word, clean);
+}
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(256, 200), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(100, 100), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(100, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(100, 99), std::invalid_argument);  // odd parity
+  const ReedSolomon rs(255, 223);
+  EXPECT_THROW(rs.encode(std::vector<std::uint8_t>(10)), std::invalid_argument);
+  std::vector<std::uint8_t> short_word(10);
+  EXPECT_THROW(rs.decode(short_word), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tbi::fec

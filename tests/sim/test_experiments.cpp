@@ -1,0 +1,106 @@
+#include "sim/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbi::sim {
+namespace {
+
+Table1Options quick_options() {
+  Table1Options o;
+  o.max_bursts_per_phase = 12000;  // keep the suite fast; full run in bench
+  return o;
+}
+
+TEST(Table1, CoversAllTenConfigurations) {
+  const auto rows = run_table1(quick_options());
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().config, "DDR3-800");
+  EXPECT_EQ(rows.back().config, "LPDDR5-8533");
+}
+
+TEST(Table1, DeviceFilterWorks) {
+  auto o = quick_options();
+  o.devices = {"DDR4-3200", "LPDDR4-4266"};
+  const auto rows = run_table1(o);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].config, "DDR4-3200");
+  EXPECT_EQ(rows[1].config, "LPDDR4-4266");
+}
+
+TEST(Table1, PaperShapeHolds) {
+  // The qualitative claims of the paper, asserted on truncated phases:
+  //  * row-major write stays high on every configuration,
+  //  * row-major read collapses on the fast grade of LPDDR4,
+  //  * the optimized mapping clears both phases on every configuration,
+  //  * the optimized minimum beats the row-major minimum where the paper
+  //    reports a win.
+  auto o = quick_options();
+  const auto rows = run_table1(o);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.row_major_write, 0.85) << r.config;
+    EXPECT_GT(r.optimized_write, 0.85) << r.config;
+    EXPECT_GT(r.optimized_read, 0.85) << r.config;
+    const double rm_min = std::min(r.row_major_write, r.row_major_read);
+    const double op_min = std::min(r.optimized_write, r.optimized_read);
+    EXPECT_GE(op_min, rm_min - 0.06) << r.config;
+  }
+  const auto* lp4_fast = &rows[7];
+  ASSERT_EQ(lp4_fast->config, "LPDDR4-4266");
+  EXPECT_LT(lp4_fast->row_major_read, 0.55);
+  const auto* ddr4_fast = &rows[3];
+  ASSERT_EQ(ddr4_fast->config, "DDR4-3200");
+  EXPECT_LT(ddr4_fast->row_major_read, 0.70);
+}
+
+TEST(Table1, RefreshDisabledLiftsOptimizedAbove97) {
+  // Paper §III: with refresh disabled the optimized mapping exceeds 99 %
+  // on every configuration (we assert a slightly relaxed bound on the
+  // truncated phases used in unit tests; the bench runs the full claim).
+  auto o = quick_options();
+  o.refresh_disabled = true;
+  const auto rows = run_table1(o);
+  for (const auto& r : rows) {
+    EXPECT_GT(std::min(r.optimized_write, r.optimized_read), 0.90) << r.config;
+  }
+}
+
+TEST(Table1, FormatMatchesPaperLayout) {
+  auto o = quick_options();
+  o.devices = {"DDR3-800"};
+  const auto table = format_table1(run_table1(o), "Table I");
+  const std::string text = table.render();
+  EXPECT_NE(text.find("DDR3-800"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Ablation, FullMappingWinsOnFastDevice) {
+  const auto rows =
+      run_ablation(*dram::find_config("LPDDR4-4266"), 2'000'000, 12000);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows.front().variant, "optimized[-,-,-]");
+  EXPECT_EQ(rows.back().variant, "optimized[diag,tile,offset]");
+  // The full mapping must beat the no-optimization corner decisively.
+  EXPECT_GT(rows.back().min(), rows.front().min() + 0.15);
+  // And tiling alone must already help the read phase vs nothing.
+  EXPECT_GT(rows[2].min(), rows.front().min() - 0.02);
+}
+
+TEST(DimensionSweep, UtilizationInsensitiveToSize) {
+  // Paper §III: "Results for other interleaver dimensions ... differ only
+  // slightly." Sweep three sizes around the paper's and require the
+  // optimized minimum to stay within a narrow band.
+  const auto rows = run_dimension_sweep(*dram::find_config("DDR4-3200"),
+                                        {2'000'000, 6'000'000, 12'500'000});
+  ASSERT_EQ(rows.size(), 3u);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GT(r.side_bursts, 0u);
+    lo = std::min(lo, r.optimized_min);
+    hi = std::max(hi, r.optimized_min);
+  }
+  EXPECT_LT(hi - lo, 0.06);
+}
+
+}  // namespace
+}  // namespace tbi::sim
