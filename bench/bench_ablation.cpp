@@ -10,6 +10,7 @@
 ///   full        : + bank-dependent column offset staggers those misses
 ///
 /// Usage: bench_ablation [--device NAME] [--symbols N] [--max-bursts M]
+///                       [--threads T]
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   cli.add_option("symbols", "count", "interleaver symbols (default 12.5M)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("symbols", 12'500'000));
   const auto max_bursts =
       static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
   std::vector<std::string> devices;
   if (cli.has("device")) {
@@ -50,7 +53,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown device '%s'\n", name.c_str());
       return 1;
     }
-    const auto rows = tbi::sim::run_ablation(*device, symbols, max_bursts);
+    const auto rows = tbi::sim::run_ablation(*device, symbols, max_bursts, threads);
     tbi::TextTable t("Optimization ablation on " + name);
     t.set_header({"Mapping Variant", "Write", "Read", "Min"});
     for (const auto& r : rows) {

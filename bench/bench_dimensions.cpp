@@ -4,7 +4,7 @@
 /// the interleaver size over two orders of magnitude on every device and
 /// reports the throughput-limiting utilization of both mappings.
 ///
-/// Usage: bench_dimensions [--device NAME] [--markdown]
+/// Usage: bench_dimensions [--device NAME] [--markdown] [--threads T]
 #include <cstdio>
 #include <vector>
 
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   tbi::CliParser cli("bench_dimensions", "interleaver size sweep (paper §III)");
   cli.add_option("device", "name", "single device (default: all ten)");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
 
   for (const auto& device : tbi::dram::standard_configs()) {
     if (cli.has("device") && device.name != cli.get("device", "")) continue;
-    const auto rows = tbi::sim::run_dimension_sweep(device, sizes);
+    const auto rows = tbi::sim::run_dimension_sweep(
+        device, sizes, static_cast<unsigned>(cli.get_int("threads", 0)));
     std::vector<std::string> rm = {device.name, "row-major"};
     std::vector<std::string> opt = {"", "optimized"};
     for (const auto& r : rows) {

@@ -1,0 +1,103 @@
+/// \file bench_fer.cpp
+/// E9 — end-to-end frame-error-rate sweep over the full scenario grid:
+/// interleaver type x channel model x code rate, with the triangular
+/// interleaver's DRAM feasibility reported alongside. This is the paper's
+/// motivating story (§I) quantified: a bursty optical LEO downlink needs
+/// the triangular interleaver to make the RS code useful, and the
+/// DRAM-resident implementation sustains the link rate only with the
+/// optimized mapping.
+///
+/// Runs on the parallel sweep engine with deterministic per-cell seeding:
+/// the records are identical for any --threads value.
+///
+/// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
+///                  [--fade-prob P] [--burst-symbols B] [--markdown]
+///                  [--progress]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dram/standards.hpp"
+#include "sim/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  tbi::CliParser cli("bench_fer", "FER sweep: interleaver x channel x code rate");
+  cli.add_option("device", "name", "DRAM device (default LPDDR5-8533)");
+  cli.add_option("frames", "n", "frames per scenario (default 40)");
+  cli.add_option("seed", "s", "sweep base seed (default 1)");
+  cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
+  cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.004)");
+  cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
+  cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("progress", "", "print sweep progress to stderr");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.has("help")) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+
+  const std::string device = cli.get("device", "LPDDR5-8533");
+  if (tbi::dram::find_config(device) == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'\n", device.c_str());
+    return 1;
+  }
+
+  tbi::sim::SweepGrid grid;
+  grid.devices = {device};
+  grid.interleavers = {"none", "block", "triangular"};
+  grid.channels = {"bsc", "gilbert-elliott", "leo"};
+  grid.rs_ks = {239, 223, 191};
+
+  tbi::sim::FerSweepOptions options;
+  options.sweep.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  options.sweep.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (cli.has("progress")) {
+    options.sweep.progress = [](const tbi::sim::SweepProgress& p) {
+      std::fprintf(stderr, "\r%llu/%llu scenarios",
+                   static_cast<unsigned long long>(p.completed),
+                   static_cast<unsigned long long>(p.total));
+      if (p.completed == p.total) std::fputc('\n', stderr);
+    };
+  }
+  options.base.frames = static_cast<unsigned>(cli.get_int("frames", 40));
+  options.base.fade_fraction = cli.get_double("fade-prob", 0.004);
+  options.base.mean_burst_symbols = cli.get_double("burst-symbols", 300);
+  options.base.error_probability = 2e-3;
+  options.base.error_rate_bad = 0.95;
+
+  std::vector<tbi::sim::FerRecord> records;
+  try {
+    records = tbi::sim::run_fer_sweep(grid, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  tbi::TextTable t("End-to-end FER on " + device + " (" +
+                   std::to_string(options.base.frames) + " frames per scenario)");
+  t.set_header({"Interleaver", "Channel", "Code", "Word Errors", "WER", "FER",
+                "DRAM Gbit/s"});
+  for (const auto& r : records) {
+    char code[24], wer[24], fer[24], gbps[24];
+    std::snprintf(code, sizeof code, "RS(255,%u)", r.scenario.rs_k);
+    std::snprintf(wer, sizeof wer, "%.5f", r.result.word_error_rate());
+    std::snprintf(fer, sizeof fer, "%.3f", r.result.frame_error_rate());
+    if (r.result.dram_ran) {
+      std::snprintf(gbps, sizeof gbps, "%.1f", r.result.dram_throughput_gbps);
+    } else {
+      std::snprintf(gbps, sizeof gbps, "-");
+    }
+    t.add_row({r.scenario.interleaver, r.scenario.channel, code,
+               std::to_string(r.result.word_errors), wer, fer, gbps});
+  }
+  std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
+             stdout);
+  std::puts(
+      "\nExpected shape: the memoryless bsc rows are interleaver-neutral;\n"
+      "on the bursty channels the triangular interleaver turns frame losses\n"
+      "into corrected words at the same channel error count.");
+  return 0;
+}

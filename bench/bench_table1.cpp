@@ -8,8 +8,11 @@
 /// write stays high, row-major read collapses on fast speed grades, the
 /// optimized mapping stays >90 % everywhere.
 ///
+/// The full grid (ten devices x two mappings) runs on the parallel sweep
+/// engine; --threads shards it over the machine.
+///
 /// Usage: bench_table1 [--symbols N] [--max-bursts M] [--csv FILE]
-///                     [--markdown] [--check]
+///                     [--markdown] [--check] [--threads T]
 #include <cstdio>
 #include <string>
 
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   cli.add_option("csv", "file", "also write results as CSV");
   cli.add_option("markdown", "", "print GitHub markdown instead of ASCII");
   cli.add_option("check", "", "validate all command streams with the JEDEC checker");
+  cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   options.max_bursts_per_phase =
       static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
   options.check_protocol = cli.has("check");
+  options.threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
   const auto rows = tbi::sim::run_table1(options);
   const auto table = tbi::sim::format_table1(

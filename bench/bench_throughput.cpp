@@ -8,12 +8,13 @@
 /// flags which (device, mapping) pairs clear the 100 Gbit/s requirement.
 ///
 /// Usage: bench_throughput [--target-gbps G] [--max-bursts M] [--markdown]
+///                         [--threads T]
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   tbi::CliParser cli("bench_throughput",
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_option("target-gbps", "G", "link requirement (default 100)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -30,25 +32,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double target = cli.get_double("target-gbps", 100.0);
-  const auto max_bursts =
+
+  tbi::sim::BandwidthSweepOptions options;
+  options.sweep.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  options.max_bursts_per_phase =
       static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
+  const auto grid = tbi::sim::SweepGrid::paper_bandwidth_grid();
+  const auto records = tbi::sim::run_bandwidth_sweep(grid, options);
 
   tbi::TextTable t("Achievable interleaver throughput (min of both phases)");
   t.set_header({"DRAM Configuration", "Peak", "Row-Major", "Optimized",
                 "Row-Major OK?", "Optimized OK?"});
 
-  for (const auto& device : tbi::dram::standard_configs()) {
-    tbi::sim::RunConfig rc;
-    rc.device = device;
-    rc.side = tbi::sim::paper_side_for(device);
-    rc.max_bursts_per_phase = max_bursts;
-
-    rc.mapping_spec = "row-major";
-    const double rm =
-        tbi::sim::run_interleaver(rc).throughput_gbps(device.burst_bytes);
-    rc.mapping_spec = "optimized";
-    const double opt =
-        tbi::sim::run_interleaver(rc).throughput_gbps(device.burst_bytes);
+  // Records are device-major with the two mappings adjacent.
+  for (std::size_t d = 0; d < grid.devices.size(); ++d) {
+    const auto& device = records[2 * d].config.device;
+    const double rm = records[2 * d].run.throughput_gbps(device.burst_bytes);
+    const double opt = records[2 * d + 1].run.throughput_gbps(device.burst_bytes);
 
     // The interleaver writes AND reads every bit, so a link rate of G
     // needs G of write bandwidth and G of read bandwidth concurrently-ish;

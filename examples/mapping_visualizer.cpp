@@ -80,29 +80,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(full.tile_width()),
               static_cast<unsigned long long>(full.tile_height()));
 
+  // Build labels with snprintf: gcc 12's -Wrestrict misfires on
+  // `"B" + std::to_string(...)` rvalue concatenation chains (PR105651).
+  const auto bcr_label = [](const tbi::dram::Address& a) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "B%uC%uR%u", a.bank, a.column, a.row);
+    return std::string(buf);
+  };
+
   print_grid("(a) Diagonal bank round-robin (Fig. 1a): Bx", size,
              [&](std::uint64_t i, std::uint64_t j) {
-               return "B" + std::to_string(diag.map(i, j).bank);
+               char buf[16];
+               std::snprintf(buf, sizeof buf, "B%u", diag.map(i, j).bank);
+               return std::string(buf);
              });
 
   print_grid("(b) Page tiling (Fig. 1b): one page per rectangle, Cx = column", size,
              [&](std::uint64_t i, std::uint64_t j) {
-               return "C" + std::to_string(tiled.map(i, j).column);
+               char buf[16];
+               std::snprintf(buf, sizeof buf, "C%u", tiled.map(i, j).column);
+               return std::string(buf);
              });
 
   print_grid("(c) Banks, columns and rows combined (Fig. 1c): BxCyRz", size,
-             [&](std::uint64_t i, std::uint64_t j) {
-               const auto a = combined.map(i, j);
-               return "B" + std::to_string(a.bank) + "C" + std::to_string(a.column) +
-                      "R" + std::to_string(a.row);
-             });
+             [&](std::uint64_t i, std::uint64_t j) { return bcr_label(combined.map(i, j)); });
 
   print_grid("(d) With the bank-dependent column offset (Fig. 1d): BxCyRz", size,
-             [&](std::uint64_t i, std::uint64_t j) {
-               const auto a = full.map(i, j);
-               return "B" + std::to_string(a.bank) + "C" + std::to_string(a.column) +
-                      "R" + std::to_string(a.row);
-             });
+             [&](std::uint64_t i, std::uint64_t j) { return bcr_label(full.map(i, j)); });
 
   std::puts(
       "Reading guide: in (c) every bank's page switch happens at the same\n"

@@ -1,100 +1,29 @@
 /// \file optical_downlink.cpp
 /// End-to-end optical LEO downlink demonstration (the paper's motivating
-/// scenario, §I): Reed-Solomon-coded frames stream through the triangular
-/// block interleaver and a correlated-fading channel with millisecond
-/// coherence. Compares the frame error rate with and without interleaving
-/// and reports the DRAM bandwidth the interleaver needs at link rate.
-///
-/// Code words are framed one per triangle row (shortened RS(255,223), as
-/// the stage-1 SRAM interleaver of the two-stage scheme would arrange
-/// them), so a channel fade of many consecutive transmitted symbols lands
-/// as a few symbols per code word.
+/// scenario, §I), now a thin driver over sim::run_pipeline: Reed-Solomon
+/// coded frames stream through the triangular block interleaver and a
+/// correlated burst channel; the same run reports the frame error rate
+/// with and without interleaving and the DRAM bandwidth the interleaver
+/// sustains on the chosen device.
 ///
 /// Usage: optical_downlink [--frames N] [--fade-prob P] [--burst-symbols B]
-///                         [--seed S] [--device NAME]
+///                         [--seed S] [--device NAME] [--channel KIND]
 #include <cstdio>
-#include <vector>
 
-#include "channel/gilbert_elliott.hpp"
 #include "common/cli.hpp"
-#include "common/mathutil.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
-#include "fec/reed_solomon.hpp"
-#include "interleaver/triangular.hpp"
-#include "sim/runner.hpp"
-
-namespace {
-
-constexpr std::uint64_t kSide = 255;
-constexpr unsigned kParity = 32;
-
-const tbi::fec::ReedSolomon& rs() {
-  static const tbi::fec::ReedSolomon codec(255, 223);
-  return codec;
-}
-
-struct Frame {
-  std::vector<std::vector<std::uint8_t>> row_data;
-  std::vector<std::uint8_t> stream;
-};
-
-Frame make_frame(tbi::Rng& rng) {
-  Frame f;
-  f.stream.resize(tbi::triangular_number(kSide));
-  f.row_data.resize(kSide);
-  std::uint64_t pos = 0;
-  for (std::uint64_t i = 0; i < kSide; ++i) {
-    const std::uint64_t len = tbi::tri_row_length(kSide, i);
-    if (len <= kParity) {
-      pos += len;
-      continue;
-    }
-    std::vector<std::uint8_t> data(len - kParity);
-    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
-    f.row_data[i] = data;
-    std::vector<std::uint8_t> full(rs().k(), 0);
-    std::copy(data.begin(), data.end(), full.begin() + static_cast<long>(i));
-    const auto word = rs().encode(full);
-    std::copy(word.begin() + static_cast<long>(i), word.end(),
-              f.stream.begin() + static_cast<long>(pos));
-    pos += len;
-  }
-  return f;
-}
-
-unsigned count_word_failures(const Frame& f, const std::vector<std::uint8_t>& rx) {
-  unsigned failures = 0;
-  std::uint64_t pos = 0;
-  for (std::uint64_t i = 0; i < kSide; ++i) {
-    const std::uint64_t len = tbi::tri_row_length(kSide, i);
-    if (!f.row_data[i].empty()) {
-      std::vector<std::uint8_t> word(i, 0);
-      word.insert(word.end(), rx.begin() + static_cast<long>(pos),
-                  rx.begin() + static_cast<long>(pos + len));
-      const auto res = rs().decode(word);
-      if (!res.ok ||
-          !std::equal(f.row_data[i].begin(), f.row_data[i].end(),
-                      word.begin() + static_cast<long>(i))) {
-        ++failures;
-      }
-    }
-    pos += len;
-  }
-  return failures;
-}
-
-}  // namespace
+#include "sim/pipeline.hpp"
 
 int main(int argc, char** argv) {
   tbi::CliParser cli("optical_downlink",
                      "coded LEO downlink with/without triangular interleaving");
   cli.add_option("frames", "n", "number of frames to simulate (default 40)");
-  cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.02)");
-  cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 400)");
+  cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.004)");
+  cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
   cli.add_option("seed", "s", "RNG seed (default 1)");
   cli.add_option("device", "name", "DRAM device for the bandwidth check");
+  cli.add_option("channel", "kind", "bsc | gilbert-elliott | leo (default gilbert-elliott)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -104,67 +33,57 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto frames = static_cast<unsigned>(cli.get_int("frames", 40));
-  const double fade_prob = cli.get_double("fade-prob", 0.02);
-  const double burst = cli.get_double("burst-symbols", 400);
-  tbi::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  tbi::sim::PipelineConfig config;
+  config.channel = cli.get("channel", "gilbert-elliott");
+  config.frames = static_cast<unsigned>(cli.get_int("frames", 40));
+  config.fade_fraction = cli.get_double("fade-prob", 0.004);
+  config.mean_burst_symbols = cli.get_double("burst-symbols", 300);
+  config.error_rate_bad = 0.95;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.run_dram = false;
 
-  const tbi::interleaver::TriangularInterleaver tri(kSide);
-  const auto params = tbi::channel::GilbertElliottParams::from_burst_profile(
-      burst, fade_prob, 0.5, 8);
+  tbi::sim::PipelineResult direct, interleaved;
+  const auto* device = tbi::dram::find_config(cli.get("device", "LPDDR5-8533"));
+  try {
+    // Same seed => same channel draws: the two systems see identical fades.
+    config.interleaver = "none";
+    direct = tbi::sim::run_pipeline(config);
 
-  unsigned direct_failures = 0, interleaved_failures = 0;
-  unsigned direct_frames = 0, interleaved_frames = 0;
-  std::uint64_t words_per_frame = 0;
-
-  for (unsigned fidx = 0; fidx < frames; ++fidx) {
-    const std::uint64_t channel_seed = rng.next_u64();
-    for (const bool interleave : {false, true}) {
-      Frame f = make_frame(rng);
-      auto tx = interleave ? tri.interleave(f.stream) : f.stream;
-      tbi::Rng channel_rng(channel_seed);  // same fades for both systems
-      tbi::channel::GilbertElliottChannel ch(params);
-      ch.apply(tx, channel_rng);
-      const auto rx = interleave ? tri.deinterleave(tx) : tx;
-      const unsigned failures = count_word_failures(f, rx);
-      if (interleave) {
-        interleaved_failures += failures;
-        interleaved_frames += failures != 0;
-      } else {
-        direct_failures += failures;
-        direct_frames += failures != 0;
-      }
+    config.interleaver = "triangular";
+    if (device != nullptr) {
+      config.run_dram = true;
+      config.device = *device;
+      config.dram_max_bursts_per_phase = 0;  // one frame's triangle is small
     }
-    words_per_frame = kSide - kParity;
+    interleaved = tbi::sim::run_pipeline(config);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
   tbi::TextTable t("Optical downlink: coded performance over a bursty channel");
   t.set_header({"System", "Word Errors", "WER", "Frame Errors", "FER"});
-  const double words_total = static_cast<double>(words_per_frame) * frames;
-  t.add_row({"direct (no interleaver)", std::to_string(direct_failures),
-             tbi::TextTable::num(direct_failures / words_total, 5),
-             std::to_string(direct_frames),
-             tbi::TextTable::num(static_cast<double>(direct_frames) / frames, 3)});
-  t.add_row({"triangular interleaver", std::to_string(interleaved_failures),
-             tbi::TextTable::num(interleaved_failures / words_total, 5),
-             std::to_string(interleaved_frames),
-             tbi::TextTable::num(static_cast<double>(interleaved_frames) / frames, 3)});
+  const auto add_row = [&t](const char* name, const tbi::sim::PipelineResult& r) {
+    t.add_row({name, std::to_string(r.word_errors),
+               tbi::TextTable::num(r.word_error_rate(), 5),
+               std::to_string(r.frame_errors),
+               tbi::TextTable::num(r.frame_error_rate(), 3)});
+  };
+  add_row("direct (no interleaver)", direct);
+  add_row("triangular interleaver", interleaved);
   std::fputs(t.render().c_str(), stdout);
 
-  // DRAM side: what the interleaver needs from memory at link rate.
-  const auto* device = tbi::dram::find_config(cli.get("device", "LPDDR5-8533"));
-  if (device != nullptr) {
-    tbi::sim::RunConfig rc;
-    rc.device = *device;
-    rc.mapping_spec = "optimized";
-    rc.side = tbi::sim::paper_side_for(*device);
-    rc.max_bursts_per_phase = 40000;
-    const auto run = tbi::sim::run_interleaver(rc);
+  std::printf("\nChannel corrupted %llu symbols in both systems; the interleaved\n"
+              "decoder corrected %llu of them.\n",
+              static_cast<unsigned long long>(direct.channel_symbol_errors),
+              static_cast<unsigned long long>(interleaved.corrected_symbols));
+
+  if (interleaved.dram_ran) {
     std::printf(
         "\nDRAM feasibility on %s: optimized mapping sustains %.1f Gbit/s\n"
         "interleaver throughput (%.1f Gbit/s peak, %.1f %% min utilization).\n",
-        device->name.c_str(), run.throughput_gbps(device->burst_bytes),
-        device->peak_bandwidth_gbps(), 100.0 * run.min_utilization());
+        device->name.c_str(), interleaved.dram_throughput_gbps,
+        device->peak_bandwidth_gbps(), 100.0 * interleaved.dram.min_utilization());
   }
   return 0;
 }

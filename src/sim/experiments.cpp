@@ -3,13 +3,11 @@
 #include <algorithm>
 
 #include "interleaver/streams.hpp"
+#include "sim/sweep.hpp"
 
 namespace tbi::sim {
 
 namespace {
-
-constexpr std::uint64_t kPaperSymbols = 12'500'000;
-constexpr unsigned kPaperSymbolBits = 3;
 
 bool device_selected(const Table1Options& o, const std::string& name) {
   if (o.devices.empty()) return true;
@@ -19,38 +17,35 @@ bool device_selected(const Table1Options& o, const std::string& name) {
 }  // namespace
 
 std::vector<Table1Row> run_table1(const Table1Options& options) {
-  const std::uint64_t symbols =
-      options.total_symbols ? options.total_symbols : kPaperSymbols;
-
-  std::vector<Table1Row> rows;
+  SweepGrid grid;
   for (const auto& device : dram::standard_configs()) {
-    if (!device_selected(options, device.name)) continue;
+    if (device_selected(options, device.name)) grid.devices.push_back(device.name);
+  }
+  grid.mapping_specs = {"row-major", "optimized"};
 
-    RunConfig rc;
-    rc.device = device;
-    rc.controller.queue_depth = options.queue_depth;
-    if (options.refresh_disabled) {
-      rc.controller.use_device_default_refresh = false;
-      rc.controller.refresh_mode = dram::RefreshMode::Disabled;
-    }
-    rc.side = interleaver::burst_triangle_side(symbols, kPaperSymbolBits,
-                                               device.burst_bytes);
-    rc.max_bursts_per_phase = options.max_bursts_per_phase;
-    rc.check_protocol = options.check_protocol;
+  BandwidthSweepOptions sweep;
+  sweep.sweep.threads = options.threads;
+  sweep.total_symbols = options.total_symbols;
+  sweep.max_bursts_per_phase = options.max_bursts_per_phase;
+  sweep.refresh_disabled = options.refresh_disabled;
+  sweep.check_protocol = options.check_protocol;
+  sweep.queue_depth = options.queue_depth;
 
+  const auto records = run_bandwidth_sweep(grid, sweep);
+
+  // Records are device-major, mapping inner (grid expansion order): fold
+  // each device's row-major/optimized pair into one table row.
+  std::vector<Table1Row> rows;
+  rows.reserve(grid.devices.size());
+  for (std::size_t d = 0; d < grid.devices.size(); ++d) {
+    const auto& rm = records[2 * d].run;
+    const auto& opt = records[2 * d + 1].run;
     Table1Row row;
-    row.config = device.name;
-
-    rc.mapping_spec = "row-major";
-    const InterleaverRun rm = run_interleaver(rc);
+    row.config = grid.devices[d];
     row.row_major_write = rm.write.stats.utilization();
     row.row_major_read = rm.read.stats.utilization();
-
-    rc.mapping_spec = "optimized";
-    const InterleaverRun opt = run_interleaver(rc);
     row.optimized_write = opt.write.stats.utilization();
     row.optimized_read = opt.read.stats.utilization();
-
     rows.push_back(row);
   }
   return rows;
@@ -70,31 +65,36 @@ TextTable format_table1(const std::vector<Table1Row>& rows, const std::string& t
 
 std::vector<AblationRow> run_ablation(const dram::DeviceConfig& device,
                                       std::uint64_t total_symbols,
-                                      std::uint64_t max_bursts_per_phase) {
+                                      std::uint64_t max_bursts_per_phase,
+                                      unsigned threads) {
   static const char* kVariants[] = {
       "optimized/none", "optimized/diag", "optimized/tile",
       "optimized/diag+tile", "optimized"};
 
-  std::vector<AblationRow> rows;
-  for (const char* spec : kVariants) {
+  SweepOptions sweep;
+  sweep.threads = threads;
+  return sweep_map(std::size(kVariants), sweep,
+                   [&](std::uint64_t index, std::uint64_t /*seed*/) {
     RunConfig rc;
     rc.device = device;
-    rc.mapping_spec = spec;
+    rc.mapping_spec = kVariants[index];
     rc.side = interleaver::burst_triangle_side(total_symbols, kPaperSymbolBits,
                                                device.burst_bytes);
     rc.max_bursts_per_phase = max_bursts_per_phase;
     const InterleaverRun run = run_interleaver(rc);
-    rows.push_back(AblationRow{run.mapping_name,
-                               run.write.stats.utilization(),
-                               run.read.stats.utilization()});
-  }
-  return rows;
+    return AblationRow{run.mapping_name, run.write.stats.utilization(),
+                       run.read.stats.utilization()};
+  });
 }
 
 std::vector<DimensionRow> run_dimension_sweep(
-    const dram::DeviceConfig& device, const std::vector<std::uint64_t>& symbol_counts) {
-  std::vector<DimensionRow> rows;
-  for (const std::uint64_t symbols : symbol_counts) {
+    const dram::DeviceConfig& device, const std::vector<std::uint64_t>& symbol_counts,
+    unsigned threads) {
+  SweepOptions sweep;
+  sweep.threads = threads;
+  return sweep_map(symbol_counts.size(), sweep,
+                   [&](std::uint64_t index, std::uint64_t /*seed*/) {
+    const std::uint64_t symbols = symbol_counts[index];
     DimensionRow row;
     row.total_symbols = symbols;
     row.side_bursts = interleaver::burst_triangle_side(symbols, kPaperSymbolBits,
@@ -107,9 +107,8 @@ std::vector<DimensionRow> run_dimension_sweep(
     row.row_major_min = run_interleaver(rc).min_utilization();
     rc.mapping_spec = "optimized";
     row.optimized_min = run_interleaver(rc).min_utilization();
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
 }
 
 }  // namespace tbi::sim

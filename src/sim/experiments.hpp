@@ -35,6 +35,8 @@ struct Table1Options {
   /// Validate every command stream against the JEDEC checker.
   bool check_protocol = false;
   unsigned queue_depth = 64;
+  /// Worker threads for the sweep (0 = all hardware threads).
+  unsigned threads = 0;
 };
 
 /// E1 / E3: run row-major and optimized mappings over the configured
@@ -54,7 +56,8 @@ struct AblationRow {
 
 std::vector<AblationRow> run_ablation(const dram::DeviceConfig& device,
                                       std::uint64_t total_symbols,
-                                      std::uint64_t max_bursts_per_phase = 0);
+                                      std::uint64_t max_bursts_per_phase = 0,
+                                      unsigned threads = 0);
 
 /// E4: interleaver dimension sweep on one device, both mappings.
 struct DimensionRow {
@@ -65,6 +68,7 @@ struct DimensionRow {
 };
 
 std::vector<DimensionRow> run_dimension_sweep(const dram::DeviceConfig& device,
-                                              const std::vector<std::uint64_t>& symbol_counts);
+                                              const std::vector<std::uint64_t>& symbol_counts,
+                                              unsigned threads = 0);
 
 }  // namespace tbi::sim

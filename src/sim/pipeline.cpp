@@ -1,0 +1,232 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "channel/bsc.hpp"
+#include "channel/gilbert_elliott.hpp"
+#include "channel/leo.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "fec/reed_solomon.hpp"
+#include "interleaver/block.hpp"
+#include "interleaver/streams.hpp"
+#include "interleaver/triangular.hpp"
+
+namespace tbi::sim {
+
+namespace {
+
+constexpr unsigned kChannelSymbolBits = 8;  // RS symbols are bytes
+
+/// Stream permutation for the pipeline's interleaver axis. The block
+/// variant reshapes the packed triangle into an exact rows x cols
+/// rectangle (classic SRAM interleaver) as the non-triangular baseline.
+class StreamInterleaver {
+ public:
+  StreamInterleaver(const std::string& kind, std::uint64_t side) {
+    if (kind == "none") {
+      return;
+    }
+    if (kind == "triangular") {
+      tri_ = std::make_unique<interleaver::TriangularInterleaver>(side);
+      return;
+    }
+    if (kind == "block") {
+      // T(side) = side*(side+1)/2 factors exactly as rows x cols with
+      // rows = side (side odd) or side+1 (side even).
+      const std::uint64_t rows = (side % 2 == 1) ? side : side + 1;
+      block_ = std::make_unique<interleaver::BlockInterleaver>(
+          rows, triangular_number(side) / rows);
+      return;
+    }
+    throw std::invalid_argument("pipeline: unknown interleaver '" + kind + "'");
+  }
+
+  std::vector<std::uint8_t> forward(const std::vector<std::uint8_t>& in) const {
+    if (tri_) return tri_->interleave(in);
+    if (block_) return block_->interleave(in);
+    return in;
+  }
+
+  std::vector<std::uint8_t> backward(const std::vector<std::uint8_t>& in) const {
+    if (tri_) return tri_->deinterleave(in);
+    if (block_) return block_->deinterleave(in);
+    return in;
+  }
+
+ private:
+  std::unique_ptr<interleaver::TriangularInterleaver> tri_;
+  std::unique_ptr<interleaver::BlockInterleaver> block_;
+};
+
+/// One triangular block: per-row shortened code words and the packed
+/// transmit stream (row i transmits word symbols i..n-1).
+struct Frame {
+  std::vector<std::vector<std::uint8_t>> row_data;  ///< empty = row carries no word
+  std::vector<std::uint8_t> stream;
+};
+
+Frame make_frame(const fec::ReedSolomon& rs, std::uint64_t side, Rng& rng) {
+  const unsigned parity = rs.parity();
+  Frame f;
+  f.stream.resize(triangular_number(side));
+  f.row_data.resize(side);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < side; ++i) {
+    const std::uint64_t len = tri_row_length(side, i);
+    if (len <= parity) {  // too short for a shortened word; padding row
+      pos += len;
+      continue;
+    }
+    std::vector<std::uint8_t> data(len - parity);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    f.row_data[i] = data;
+    std::vector<std::uint8_t> full(rs.k(), 0);
+    std::copy(data.begin(), data.end(), full.begin() + static_cast<long>(i));
+    const auto word = rs.encode(full);
+    std::copy(word.begin() + static_cast<long>(i), word.end(),
+              f.stream.begin() + static_cast<long>(pos));
+    pos += len;
+  }
+  return f;
+}
+
+void decode_frame(const fec::ReedSolomon& rs, std::uint64_t side, const Frame& f,
+                  const std::vector<std::uint8_t>& rx, PipelineResult& result) {
+  std::uint64_t failures = 0;
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < side; ++i) {
+    const std::uint64_t len = tri_row_length(side, i);
+    if (!f.row_data[i].empty()) {
+      std::vector<std::uint8_t> word(i, 0);
+      word.insert(word.end(), rx.begin() + static_cast<long>(pos),
+                  rx.begin() + static_cast<long>(pos + len));
+      const auto res = rs.decode(word);
+      const bool data_ok =
+          res.ok && std::equal(f.row_data[i].begin(), f.row_data[i].end(),
+                               word.begin() + static_cast<long>(i));
+      ++result.code_words;
+      if (data_ok) {
+        result.corrected_symbols += res.corrected_symbols;
+      } else {
+        ++failures;
+      }
+    }
+    pos += len;
+  }
+  result.word_errors += failures;
+  result.frame_errors += failures != 0;
+}
+
+}  // namespace
+
+std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config) {
+  if (config.channel == "none") {
+    return nullptr;
+  }
+  if (config.channel == "bsc") {
+    return std::make_unique<channel::SymmetricChannel>(config.error_probability,
+                                                       kChannelSymbolBits);
+  }
+  if (config.channel == "gilbert-elliott") {
+    return std::make_unique<channel::GilbertElliottChannel>(
+        channel::GilbertElliottParams::from_burst_profile(
+            config.mean_burst_symbols, config.fade_fraction,
+            config.error_rate_bad, kChannelSymbolBits));
+  }
+  if (config.channel == "leo") {
+    channel::LeoChannelParams p;
+    // Express the fade geometry in symbols directly: one "second" == one
+    // symbol, so the coherence time is mean_burst_symbols.
+    p.symbol_rate_hz = 1.0;
+    p.coherence_time_s = config.mean_burst_symbols;
+    p.fade_probability = config.fade_fraction;
+    p.fade_depth_error_rate = config.error_rate_bad;
+    p.symbol_bits = kChannelSymbolBits;
+    p.symbols_per_sample = static_cast<unsigned>(
+        std::max<double>(1.0, config.mean_burst_symbols / 16.0));
+    return std::make_unique<channel::LeoFadingChannel>(p);
+  }
+  throw std::invalid_argument("pipeline: unknown channel '" + config.channel + "'");
+}
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  if (config.rs_n > 255 || config.rs_k == 0 || config.rs_k >= config.rs_n ||
+      (config.rs_n - config.rs_k) % 2 != 0) {
+    throw std::invalid_argument("pipeline: invalid RS(n, k)");
+  }
+  if (config.frames == 0) {
+    throw std::invalid_argument("pipeline: frames must be > 0");
+  }
+
+  const fec::ReedSolomon rs(config.rs_n, config.rs_k);
+  const std::uint64_t side = config.rs_n;
+  const StreamInterleaver il(config.interleaver, side);
+  const auto ch = make_channel(config);
+
+  // Decoupled deterministic streams: the channel draws do not depend on
+  // how much entropy the data generation consumed, so two configs that
+  // differ only in the interleaver see the same fade pattern.
+  Rng data_rng(job_seed(config.seed, 0));
+  Rng channel_rng(job_seed(config.seed, 1));
+
+  PipelineResult result;
+  result.frames = config.frames;
+  for (unsigned f = 0; f < config.frames; ++f) {
+    Frame frame = make_frame(rs, side, data_rng);
+    auto tx = il.forward(frame.stream);
+    if (ch) {
+      result.channel_symbol_errors += ch->apply(tx, channel_rng);
+    }
+    const auto rx = il.backward(tx);
+    decode_frame(rs, side, frame, rx, result);
+  }
+
+  // DRAM stage: only the triangular interleaver is DRAM-resident; the
+  // block baseline is the SRAM stage-1 structure and "none" buffers nothing.
+  if (config.run_dram && config.interleaver == "triangular") {
+    if (config.device.name.empty()) {
+      throw std::invalid_argument("pipeline: run_dram requires a device");
+    }
+    RunConfig rc;
+    rc.device = config.device;
+    rc.mapping_spec = config.mapping_spec;
+    rc.side = interleaver::burst_triangle_side(
+        triangular_number(side), kChannelSymbolBits, config.device.burst_bytes);
+    rc.max_bursts_per_phase = config.dram_max_bursts_per_phase;
+    rc.check_protocol = config.check_protocol;
+    result.dram = run_interleaver(rc);
+    result.dram_ran = true;
+    result.dram_throughput_gbps = result.dram.throughput_gbps(config.device.burst_bytes);
+  }
+  return result;
+}
+
+std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOptions& options) {
+  const auto cells = grid.expand();
+  return sweep_map(cells.size(), options.sweep,
+                   [&](std::uint64_t index, std::uint64_t seed) {
+    const Scenario& scenario = cells[index];
+    FerRecord record;
+    record.scenario = scenario;
+    record.config = options.base;
+    record.config.interleaver = scenario.interleaver;
+    record.config.channel = scenario.channel;
+    record.config.rs_k = scenario.rs_k;
+    record.config.mapping_spec = scenario.mapping_spec;
+    record.config.seed = seed;
+    if (!scenario.device.empty()) {
+      const auto* device = dram::find_config(scenario.device);
+      if (device == nullptr) {
+        throw std::invalid_argument("run_fer_sweep: unknown device '" +
+                                    scenario.device + "'");
+      }
+      record.config.device = *device;
+    }
+    record.result = run_pipeline(record.config);
+    return record;
+  });
+}
+
+}  // namespace tbi::sim

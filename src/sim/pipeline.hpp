@@ -1,0 +1,104 @@
+/// \file pipeline.hpp
+/// End-to-end frame-error-rate pipeline (the paper's motivating system,
+/// §I): Reed-Solomon-coded frames stream through a chosen interleaver and
+/// a configurable symbol-error channel; the interleaver's write and read
+/// phases additionally execute on the simulated DRAM controller, so one
+/// run yields both the coding gain of the interleaver *and* the memory
+/// bandwidth it needs.
+///
+/// Framing follows the two-stage scheme: one shortened RS(n, k) code word
+/// per triangle row (row i carries word symbols i..n-1, the leading i
+/// zeros are implicit), so a long channel fade lands as a few symbols per
+/// code word once the triangular permutation spreads it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "dram/standards.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace tbi::sim {
+
+struct PipelineConfig {
+  // --- data path -----------------------------------------------------------
+  std::string interleaver = "triangular";  ///< "none" | "triangular" | "block"
+  std::string channel = "gilbert-elliott"; ///< "none" | "bsc" | "gilbert-elliott" | "leo"
+  unsigned rs_n = 255;                     ///< code word length (symbols)
+  unsigned rs_k = 223;                     ///< data symbols per code word
+  unsigned frames = 20;                    ///< triangular blocks to simulate
+  std::uint64_t seed = 1;                  ///< root seed (data + channel)
+
+  // --- channel knobs -------------------------------------------------------
+  double error_probability = 1e-3;  ///< bsc: per-symbol error probability
+  double fade_fraction = 0.02;      ///< gilbert-elliott / leo: stationary bad fraction
+  double mean_burst_symbols = 400;  ///< gilbert-elliott: mean fade length;
+                                    ///< leo: coherence length in symbols
+  double error_rate_bad = 0.5;      ///< symbol error rate inside a fade
+
+  // --- DRAM stage (triangular interleaver only) ----------------------------
+  bool run_dram = true;             ///< execute write/read phases on the controller
+  dram::DeviceConfig device;        ///< required when run_dram is set
+  std::string mapping_spec = "optimized";
+  std::uint64_t dram_max_bursts_per_phase = 20000;  ///< 0 = full triangle
+  bool check_protocol = false;
+};
+
+struct PipelineResult {
+  std::uint64_t frames = 0;
+  std::uint64_t code_words = 0;             ///< total decoded words
+  std::uint64_t word_errors = 0;            ///< undecodable or miscorrected
+  std::uint64_t frame_errors = 0;           ///< frames with >= 1 word error
+  std::uint64_t channel_symbol_errors = 0;  ///< symbols the channel corrupted
+  std::uint64_t corrected_symbols = 0;      ///< RS corrections on good decodes
+
+  double word_error_rate() const {
+    return code_words ? static_cast<double>(word_errors) / static_cast<double>(code_words)
+                      : 0.0;
+  }
+  double frame_error_rate() const {
+    return frames ? static_cast<double>(frame_errors) / static_cast<double>(frames) : 0.0;
+  }
+
+  // DRAM feasibility of the interleaver geometry (dram_ran == false when
+  // the scenario has no DRAM-resident interleaver).
+  bool dram_ran = false;
+  InterleaverRun dram;
+  double dram_throughput_gbps = 0;
+};
+
+/// Channel factory for the pipeline's channel axis ("none" -> nullptr).
+/// Symbols are RS code-word bytes, so all channels run with 8 symbol bits.
+std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config);
+
+/// Simulate \p config.frames triangular blocks end to end and, when
+/// configured, the DRAM phases of the triangular interleaver.
+PipelineResult run_pipeline(const PipelineConfig& config);
+
+// ---------------------------------------------------------------------------
+// FER sweeps on the scenario grid
+// ---------------------------------------------------------------------------
+
+struct FerSweepOptions {
+  SweepOptions sweep;
+  /// Template for every cell; device / mapping_spec / interleaver /
+  /// channel / rs_k are overridden per scenario, and the seed is replaced
+  /// by the deterministic per-job seed.
+  PipelineConfig base;
+};
+
+struct FerRecord {
+  Scenario scenario;
+  PipelineConfig config;
+  PipelineResult result;
+};
+
+/// Run the full pipeline for every cell of the grid in parallel; records
+/// are index-ordered and independent of the thread count.
+std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOptions& options);
+
+}  // namespace tbi::sim

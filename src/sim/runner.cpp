@@ -11,11 +11,6 @@
 
 namespace tbi::sim {
 
-namespace {
-constexpr std::uint64_t kPaperSymbols = 12'500'000;
-constexpr unsigned kPaperSymbolBits = 3;
-}  // namespace
-
 std::uint64_t paper_side_for(const dram::DeviceConfig& device) {
   return interleaver::burst_triangle_side(kPaperSymbols, kPaperSymbolBits,
                                           device.burst_bytes);

@@ -15,6 +15,11 @@
 
 namespace tbi::sim {
 
+/// The paper's interleaver geometry: 12.5 M 3-bit symbols (§III). Shared
+/// by the runner, the sweep engine and the experiment drivers.
+inline constexpr std::uint64_t kPaperSymbols = 12'500'000;
+inline constexpr unsigned kPaperSymbolBits = 3;
+
 struct RunConfig {
   dram::DeviceConfig device;
   dram::ControllerConfig controller;

@@ -140,7 +140,9 @@ TEST(Leo, CoherenceProducesLongFades) {
     cur = s != 0 ? cur + 1 : 0;
     longest = std::max(longest, cur);
   }
-  if (longest > 0) EXPECT_GT(longest, 10000u);
+  if (longest > 0) {
+    EXPECT_GT(longest, 10000u);
+  }
 }
 
 TEST(Leo, RejectsBadParams) {

@@ -1,0 +1,234 @@
+#include "sim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+
+namespace tbi::sim {
+namespace {
+
+/// A bursty Gilbert-Elliott profile whose fades are long enough to swamp
+/// single code words (mean 300 symbols at 95 % error rate, versus a
+/// correction capability of t = 16 per RS(255,223) word) but short
+/// relative to the 32640-symbol triangular block, so the interleaver can
+/// spread them below t.
+PipelineConfig burst_config(const std::string& interleaver, std::uint64_t seed) {
+  PipelineConfig c;
+  c.interleaver = interleaver;
+  c.channel = "gilbert-elliott";
+  c.fade_fraction = 0.004;
+  c.mean_burst_symbols = 300;
+  c.error_rate_bad = 0.95;
+  c.frames = 20;
+  c.seed = seed;
+  c.run_dram = false;
+  return c;
+}
+
+TEST(Pipeline, CleanChannelHasZeroErrors) {
+  for (const char* il : {"none", "triangular", "block"}) {
+    PipelineConfig c;
+    c.interleaver = il;
+    c.channel = "none";
+    c.frames = 3;
+    c.run_dram = false;
+    const auto r = run_pipeline(c);
+    EXPECT_EQ(r.word_errors, 0u) << il;
+    EXPECT_EQ(r.frame_errors, 0u) << il;
+    EXPECT_EQ(r.channel_symbol_errors, 0u) << il;
+    EXPECT_EQ(r.corrected_symbols, 0u) << il;
+    EXPECT_EQ(r.frames, 3u);
+    // One shortened word per triangle row long enough to carry data:
+    // rows 0..k-1, i.e. k words per frame.
+    EXPECT_EQ(r.code_words, 3u * 223u) << il;
+  }
+}
+
+TEST(Pipeline, ZeroProbabilityBscIsClean) {
+  PipelineConfig c;
+  c.channel = "bsc";
+  c.error_probability = 0.0;
+  c.frames = 2;
+  c.run_dram = false;
+  const auto r = run_pipeline(c);
+  EXPECT_EQ(r.word_errors, 0u);
+  EXPECT_EQ(r.frame_errors, 0u);
+}
+
+TEST(Pipeline, BurstsBeyondRsBreakUninterleavedFrames) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto r = run_pipeline(burst_config("none", seed));
+    EXPECT_GT(r.channel_symbol_errors, 0u) << seed;
+    EXPECT_GT(r.word_errors, 0u) << seed;
+    EXPECT_GT(r.frame_errors, 0u) << seed;
+  }
+}
+
+TEST(Pipeline, TriangularInterleavingRecoversTheSameBursts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto direct = run_pipeline(burst_config("none", seed));
+    const auto interleaved = run_pipeline(burst_config("triangular", seed));
+    // Decoupled channel seeding: both systems saw the same fades.
+    EXPECT_EQ(direct.channel_symbol_errors, interleaved.channel_symbol_errors) << seed;
+    EXPECT_GT(direct.frame_errors, 0u) << seed;
+    EXPECT_EQ(interleaved.word_errors, 0u) << seed;
+    EXPECT_EQ(interleaved.frame_errors, 0u) << seed;
+    // The errors did not vanish — RS corrected them after spreading.
+    EXPECT_GT(interleaved.corrected_symbols, 0u) << seed;
+  }
+}
+
+TEST(Pipeline, MemorylessChannelIsInterleaverNeutral) {
+  // Control case: on a BSC the interleaver must not change the outcome
+  // (identical channel draws, symbol-wise independent errors).
+  PipelineConfig c;
+  c.channel = "bsc";
+  c.error_probability = 0.01;
+  c.frames = 5;
+  c.run_dram = false;
+  c.interleaver = "none";
+  const auto direct = run_pipeline(c);
+  c.interleaver = "triangular";
+  const auto interleaved = run_pipeline(c);
+  EXPECT_EQ(direct.channel_symbol_errors, interleaved.channel_symbol_errors);
+  EXPECT_EQ(direct.word_errors, interleaved.word_errors);
+}
+
+TEST(Pipeline, LeoChannelRuns) {
+  PipelineConfig c;
+  c.interleaver = "triangular";
+  c.channel = "leo";
+  c.fade_fraction = 0.05;
+  c.mean_burst_symbols = 1500;
+  c.frames = 5;
+  c.run_dram = false;
+  const auto r = run_pipeline(c);
+  EXPECT_GT(r.channel_symbol_errors, 0u);
+  EXPECT_EQ(r.code_words, 5u * 223u);
+}
+
+TEST(Pipeline, DramStageReportsFeasibility) {
+  PipelineConfig c;
+  c.channel = "none";
+  c.frames = 1;
+  c.run_dram = true;
+  c.device = *dram::find_config("DDR4-3200");
+  c.dram_max_bursts_per_phase = 0;  // full (small) triangle
+  c.check_protocol = true;
+  const auto r = run_pipeline(c);
+  ASSERT_TRUE(r.dram_ran);
+  // One 32640-byte triangular block = 510 bursts of 64 B -> side 32.
+  EXPECT_EQ(r.dram.write.stats.bursts, r.dram.read.stats.bursts);
+  EXPECT_GT(r.dram.write.stats.bursts, 500u);
+  EXPECT_GT(r.dram_throughput_gbps, 0.0);
+  EXPECT_EQ(r.dram.device_name, "DDR4-3200");
+}
+
+TEST(Pipeline, NoDramStageForSramInterleavers) {
+  for (const char* il : {"none", "block"}) {
+    PipelineConfig c;
+    c.interleaver = il;
+    c.channel = "none";
+    c.frames = 1;
+    c.run_dram = true;
+    c.device = *dram::find_config("DDR4-3200");
+    const auto r = run_pipeline(c);
+    EXPECT_FALSE(r.dram_ran) << il;
+  }
+}
+
+TEST(Pipeline, RejectsBadConfigs) {
+  const auto expect_invalid = [](const std::function<void(PipelineConfig&)>& tweak) {
+    PipelineConfig c;
+    c.run_dram = false;
+    tweak(c);
+    EXPECT_THROW(run_pipeline(c), std::invalid_argument);
+  };
+  expect_invalid([](PipelineConfig& c) { c.interleaver = "helical"; });
+  expect_invalid([](PipelineConfig& c) { c.channel = "awgn"; });
+  expect_invalid([](PipelineConfig& c) { c.rs_k = 0; });
+  expect_invalid([](PipelineConfig& c) { c.rs_k = 222; /* odd parity */ });
+  expect_invalid([](PipelineConfig& c) {
+    c.run_dram = true;  // no device set
+    c.channel = "none";
+    c.frames = 1;
+  });
+}
+
+TEST(Pipeline, CodeRateAxisChangesCorrectionPower) {
+  // A stronger code (more parity) corrects bursts a weaker one cannot.
+  auto weak = burst_config("triangular", 7);
+  weak.rs_k = 251;  // t = 2
+  const auto weak_r = run_pipeline(weak);
+  auto strong = burst_config("triangular", 7);
+  strong.rs_k = 223;  // t = 16
+  const auto strong_r = run_pipeline(strong);
+  EXPECT_GT(weak_r.word_errors, 0u);
+  EXPECT_EQ(strong_r.word_errors, 0u);
+}
+
+TEST(FerSweep, GridRecordsMatchScenarios) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  grid.interleavers = {"none", "triangular"};
+  grid.channels = {"gilbert-elliott"};
+  FerSweepOptions o;
+  o.base = burst_config("triangular", 0);
+  o.base.frames = 5;
+  o.base.run_dram = false;
+  o.sweep.threads = 2;
+  const auto records = run_fer_sweep(grid, o);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].scenario.interleaver, "none");
+  EXPECT_EQ(records[1].scenario.interleaver, "triangular");
+  EXPECT_EQ(records[0].config.interleaver, "none");
+  EXPECT_EQ(records[0].result.frames, 5u);
+}
+
+TEST(FerSweep, DeterministicAcrossThreadCounts) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  grid.interleavers = {"none", "triangular", "block"};
+  grid.channels = {"bsc", "gilbert-elliott", "leo"};
+  grid.rs_ks = {223, 239};
+  FerSweepOptions o;
+  o.base.frames = 2;
+  o.base.run_dram = false;
+  o.base.fade_fraction = 0.01;
+  o.base.mean_burst_symbols = 200;
+  o.sweep.base_seed = 5;
+
+  o.sweep.threads = 1;
+  const auto serial = run_fer_sweep(grid, o);
+  o.sweep.threads = 4;
+  const auto parallel = run_fer_sweep(grid, o);
+  ASSERT_EQ(serial.size(), 18u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].config.seed, parallel[i].config.seed) << i;
+    EXPECT_EQ(serial[i].result.word_errors, parallel[i].result.word_errors) << i;
+    EXPECT_EQ(serial[i].result.frame_errors, parallel[i].result.frame_errors) << i;
+    EXPECT_EQ(serial[i].result.channel_symbol_errors,
+              parallel[i].result.channel_symbol_errors) << i;
+    EXPECT_EQ(serial[i].result.corrected_symbols,
+              parallel[i].result.corrected_symbols) << i;
+  }
+}
+
+TEST(MakeChannel, FactoryCoversAllKinds) {
+  PipelineConfig c;
+  c.channel = "none";
+  EXPECT_EQ(make_channel(c), nullptr);
+  c.channel = "bsc";
+  EXPECT_STREQ(make_channel(c)->name(), "symmetric");
+  c.channel = "gilbert-elliott";
+  EXPECT_STREQ(make_channel(c)->name(), "gilbert-elliott");
+  c.channel = "leo";
+  EXPECT_STREQ(make_channel(c)->name(), "leo-fading");
+  c.channel = "bogus";
+  EXPECT_THROW(make_channel(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tbi::sim

@@ -1,0 +1,222 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace tbi::sim {
+namespace {
+
+TEST(JobSeed, DeterministicAndCollisionFree) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t s = job_seed(42, i);
+    EXPECT_EQ(s, job_seed(42, i));
+    EXPECT_TRUE(seen.insert(s).second) << "seed collision at index " << i;
+  }
+  EXPECT_NE(job_seed(1, 0), job_seed(2, 0));
+}
+
+TEST(ResolveThreads, ClampsNonsenseRequests) {
+  EXPECT_GE(resolve_threads(0), 1u);           // "all cores" never yields zero
+  EXPECT_EQ(resolve_threads(4), 4u);
+  // A CLI "--threads -1" wraps to UINT_MAX through the unsigned cast; the
+  // resolver must clamp instead of letting the pool abort in thread spawn.
+  EXPECT_LE(resolve_threads(0xFFFFFFFFu), 256u);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(SweepMap, ResultsAreIndexOrdered) {
+  SweepOptions opt;
+  opt.threads = 4;
+  const auto out = sweep_map(64, opt, [](std::uint64_t i, std::uint64_t) {
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepMap, SeedsMatchSchedule) {
+  SweepOptions opt;
+  opt.threads = 3;
+  opt.base_seed = 17;
+  const auto seeds = sweep_map(32, opt, [](std::uint64_t, std::uint64_t seed) {
+    return seed;
+  });
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(seeds[i], job_seed(17, i));
+}
+
+TEST(SweepMap, ProgressReachesTotal) {
+  SweepOptions opt;
+  opt.threads = 4;
+  std::uint64_t last = 0;
+  opt.progress = [&](const SweepProgress& p) {
+    EXPECT_EQ(p.total, 20u);
+    last = p.completed;
+  };
+  sweep_map(20, opt, [](std::uint64_t i, std::uint64_t) { return i; });
+  EXPECT_EQ(last, 20u);
+}
+
+TEST(SweepGrid, ExpandIsRowMajorCartesian) {
+  SweepGrid grid;
+  grid.devices = {"A", "B"};
+  grid.mapping_specs = {"row-major", "optimized"};
+  grid.channels = {"none", "bsc"};
+  EXPECT_EQ(grid.size(), 8u);
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].device, "A");
+  EXPECT_EQ(cells[0].mapping_spec, "row-major");
+  EXPECT_EQ(cells[0].channel, "none");
+  EXPECT_EQ(cells[1].channel, "bsc");
+  EXPECT_EQ(cells[2].mapping_spec, "optimized");
+  EXPECT_EQ(cells[4].device, "B");
+}
+
+TEST(SweepGrid, PaperGridCoversTableI) {
+  const auto grid = SweepGrid::paper_bandwidth_grid();
+  EXPECT_EQ(grid.devices.size(), 10u);
+  EXPECT_EQ(grid.mapping_specs.size(), 2u);
+  EXPECT_EQ(grid.size(), 20u);
+}
+
+BandwidthSweepOptions quick_sweep(unsigned threads) {
+  BandwidthSweepOptions o;
+  o.sweep.threads = threads;
+  o.max_bursts_per_phase = 8000;
+  return o;
+}
+
+bool stats_equal(const dram::PhaseStats& a, const dram::PhaseStats& b) {
+  return a.bursts == b.bursts && a.reads == b.reads && a.writes == b.writes &&
+         a.activates == b.activates && a.precharges == b.precharges &&
+         a.refreshes == b.refreshes && a.row_hits == b.row_hits &&
+         a.row_misses == b.row_misses && a.row_conflicts == b.row_conflicts &&
+         a.start == b.start && a.end == b.end && a.busy == b.busy;
+}
+
+TEST(BandwidthSweep, IdenticalRecordsForAnyThreadCount) {
+  // The acceptance bar of this subsystem: a Table-I-shaped sweep must
+  // produce byte-identical records on one worker and on many.
+  SweepGrid grid = SweepGrid::paper_bandwidth_grid();
+  const auto serial = run_bandwidth_sweep(grid, quick_sweep(1));
+  const auto parallel4 = run_bandwidth_sweep(grid, quick_sweep(4));
+  const auto parallel7 = run_bandwidth_sweep(grid, quick_sweep(7));
+  ASSERT_EQ(serial.size(), 20u);
+  ASSERT_EQ(parallel4.size(), serial.size());
+  ASSERT_EQ(parallel7.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].scenario.device, parallel4[i].scenario.device);
+    EXPECT_EQ(serial[i].scenario.mapping_spec, parallel4[i].scenario.mapping_spec);
+    EXPECT_TRUE(stats_equal(serial[i].run.write.stats, parallel4[i].run.write.stats)) << i;
+    EXPECT_TRUE(stats_equal(serial[i].run.read.stats, parallel4[i].run.read.stats)) << i;
+    EXPECT_TRUE(stats_equal(serial[i].run.write.stats, parallel7[i].run.write.stats)) << i;
+    EXPECT_TRUE(stats_equal(serial[i].run.read.stats, parallel7[i].run.read.stats)) << i;
+    EXPECT_EQ(serial[i].run.write.energy.total_nj(), parallel4[i].run.write.energy.total_nj());
+  }
+}
+
+TEST(BandwidthSweep, GoldenDdr4Counters) {
+  // Golden regression on a small Table-1 configuration: the exact command
+  // counts and bus occupancy of the optimized mapping on DDR4-3200 with
+  // 12000-burst phases. Any controller/mapping change that alters these
+  // numbers must be deliberate.
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  grid.mapping_specs = {"optimized"};
+  BandwidthSweepOptions o;
+  o.max_bursts_per_phase = 12000;
+  const auto records = run_bandwidth_sweep(grid, o);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& w = records[0].run.write.stats;
+  EXPECT_EQ(w.bursts, 12000u);
+  EXPECT_EQ(w.activates, 3181u);
+  EXPECT_EQ(w.row_hits, 8819u);
+  EXPECT_EQ(w.row_misses, 64u);
+  EXPECT_EQ(w.row_conflicts, 3117u);
+  EXPECT_EQ(w.elapsed(), 30965000);
+  EXPECT_EQ(w.busy, 30000000);
+  const auto& r = records[0].run.read.stats;
+  EXPECT_EQ(r.bursts, 12000u);
+  EXPECT_EQ(r.activates, 6205u);
+  EXPECT_EQ(r.elapsed(), 32493750);
+  EXPECT_EQ(r.busy, 30000000);
+}
+
+TEST(BandwidthSweep, GoldenTable1Utilizations) {
+  // Same pin at the Table-1 row level, both mappings, two devices.
+  Table1Options o;
+  o.devices = {"DDR4-3200", "LPDDR4-4266"};
+  o.max_bursts_per_phase = 12000;
+  o.threads = 2;
+  const auto rows = run_table1(o);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NEAR(rows[0].row_major_write, 0.9696969697, 1e-9);
+  EXPECT_NEAR(rows[0].row_major_read, 0.6338809360, 1e-9);
+  EXPECT_NEAR(rows[0].optimized_write, 0.9688357823, 1e-9);
+  EXPECT_NEAR(rows[0].optimized_read, 0.9232544720, 1e-9);
+  EXPECT_NEAR(rows[1].row_major_write, 1.0000000000, 1e-9);
+  EXPECT_NEAR(rows[1].row_major_read, 0.4124392756, 1e-9);
+  EXPECT_NEAR(rows[1].optimized_write, 0.9717095272, 1e-9);
+  EXPECT_NEAR(rows[1].optimized_read, 0.9948938640, 1e-9);
+}
+
+TEST(BandwidthSweep, UnknownDeviceThrows) {
+  SweepGrid grid;
+  grid.devices = {"NO-SUCH-DEVICE"};
+  EXPECT_THROW(run_bandwidth_sweep(grid, quick_sweep(2)), std::invalid_argument);
+}
+
+TEST(Summary, TracksBestAndWorst) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200", "LPDDR4-4266"};
+  grid.mapping_specs = {"row-major", "optimized"};
+  const auto records = run_bandwidth_sweep(grid, quick_sweep(2));
+  const auto summary = summarize(records);
+  EXPECT_EQ(summary.records, 4u);
+  EXPECT_GT(summary.min_utilization, 0.0);
+  EXPECT_LE(summary.min_utilization, summary.mean_utilization);
+  EXPECT_LE(summary.mean_utilization, summary.max_utilization);
+  // Row-major read collapses on LPDDR4-4266 (paper Table I), so that cell
+  // must be the worst of this grid.
+  EXPECT_EQ(summary.worst_scenario, "LPDDR4-4266/row-major");
+}
+
+TEST(Summary, EmptyIsZero) {
+  const auto summary = summarize({});
+  EXPECT_EQ(summary.records, 0u);
+  EXPECT_EQ(summary.mean_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace tbi::sim
