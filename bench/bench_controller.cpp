@@ -6,10 +6,14 @@
 /// and show that no realistic controller configuration rescues it.
 ///
 /// Usage: bench_controller [--device NAME] [--max-bursts M] [--markdown]
+///                         [--json FILE]
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "sim/runner.hpp"
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   cli.add_option("device", "name", "device (default DDR4-3200)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("json", "file", "write config + wall time + results as JSON");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -55,6 +60,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
   const bool md = cli.has("markdown");
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array queue_rows, policy_rows, layout_rows;
+  std::uint64_t total_bursts = 0;
+
   {
     tbi::TextTable t("Queue depth sweep on " + device->name +
                      " (FR-FCFS, min utilization)");
@@ -64,6 +73,13 @@ int main(int argc, char** argv) {
       const auto opt = run_with(*device, "optimized", q, Policy::FrFcfs, max_bursts);
       t.add_row({std::to_string(q), tbi::TextTable::pct(rm.min_utilization()),
                  tbi::TextTable::pct(opt.min_utilization())});
+      total_bursts += rm.write.stats.bursts + rm.read.stats.bursts +
+                      opt.write.stats.bursts + opt.read.stats.bursts;
+      tbi::Json row;
+      row["queue_depth"] = static_cast<std::uint64_t>(q);
+      row["row_major_min_utilization"] = rm.min_utilization();
+      row["optimized_min_utilization"] = opt.min_utilization();
+      queue_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
     std::puts("");
@@ -78,6 +94,13 @@ int main(int argc, char** argv) {
       const auto opt = run_with(*device, "optimized", 64, policy, max_bursts);
       t.add_row({name, tbi::TextTable::pct(rm.min_utilization()),
                  tbi::TextTable::pct(opt.min_utilization())});
+      total_bursts += rm.write.stats.bursts + rm.read.stats.bursts +
+                      opt.write.stats.bursts + opt.read.stats.bursts;
+      tbi::Json row;
+      row["policy"] = name;
+      row["row_major_min_utilization"] = rm.min_utilization();
+      row["optimized_min_utilization"] = opt.min_utilization();
+      policy_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
     std::puts("");
@@ -94,8 +117,40 @@ int main(int argc, char** argv) {
                  tbi::TextTable::pct(run.write.stats.utilization()),
                  tbi::TextTable::pct(run.read.stats.utilization()),
                  tbi::TextTable::pct(run.min_utilization())});
+      total_bursts += run.write.stats.bursts + run.read.stats.bursts;
+      tbi::Json row;
+      row["layout"] = run.mapping_name;
+      row["write_utilization"] = run.write.stats.utilization();
+      row["read_utilization"] = run.read.stats.utilization();
+      row["min_utilization"] = run.min_utilization();
+      layout_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
+  }
+
+  if (cli.has("json")) {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    tbi::Json doc;
+    doc["bench"] = "bench_controller";
+    tbi::Json config;
+    config["device"] = device->name;
+    config["max_bursts"] = max_bursts;
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    doc["simulated_bursts"] = total_bursts;
+    doc["bursts_per_second"] =
+        wall_seconds > 0 ? static_cast<double>(total_bursts) / wall_seconds : 0.0;
+    doc["queue_depth_sweep"] = queue_rows;
+    doc["policies"] = policy_rows;
+    doc["layouts"] = layout_rows;
+    std::ofstream out(cli.get("json", ""));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+      return 1;
+    }
+    out << doc.dump(2) << '\n';
   }
   return 0;
 }

@@ -12,10 +12,13 @@
 ///
 /// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
 ///                  [--fade-prob P] [--burst-symbols B] [--markdown]
-///                  [--progress]
+///                  [--progress] [--json FILE]
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "sim/pipeline.hpp"
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
   cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("progress", "", "print sweep progress to stderr");
+  cli.add_option("json", "file", "write config + wall time + records as JSON");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -69,11 +73,56 @@ int main(int argc, char** argv) {
   options.base.error_rate_bad = 0.95;
 
   std::vector<tbi::sim::FerRecord> records;
+  const auto wall_start = std::chrono::steady_clock::now();
   try {
     records = tbi::sim::run_fer_sweep(grid, options);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_fer";
+    tbi::Json config;
+    config["device"] = device;
+    config["frames"] = static_cast<std::uint64_t>(options.base.frames);
+    config["seed"] = options.sweep.base_seed;
+    config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
+    config["fade_prob"] = options.base.fade_fraction;
+    config["burst_symbols"] = options.base.mean_burst_symbols;
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    doc["scenarios_per_second"] =
+        wall_seconds > 0 ? static_cast<double>(records.size()) / wall_seconds : 0.0;
+    tbi::Json::Array rows;
+    for (const auto& r : records) {
+      tbi::Json row;
+      row["interleaver"] = r.scenario.interleaver;
+      row["channel"] = r.scenario.channel;
+      row["rs_k"] = static_cast<std::uint64_t>(r.scenario.rs_k);
+      row["code_words"] = r.result.code_words;
+      row["word_errors"] = r.result.word_errors;
+      row["frame_errors"] = r.result.frame_errors;
+      row["channel_symbol_errors"] = r.result.channel_symbol_errors;
+      row["corrected_symbols"] = r.result.corrected_symbols;
+      row["wer"] = r.result.word_error_rate();
+      row["fer"] = r.result.frame_error_rate();
+      if (r.result.dram_ran) {
+        row["dram_throughput_gbps"] = r.result.dram_throughput_gbps;
+      }
+      rows.push_back(row);
+    }
+    doc["records"] = rows;
+    std::ofstream out(cli.get("json", ""));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+      return 1;
+    }
+    out << doc.dump(2) << '\n';
   }
 
   tbi::TextTable t("End-to-end FER on " + device + " (" +

@@ -8,10 +8,13 @@
 /// flags which (device, mapping) pairs clear the 100 Gbit/s requirement.
 ///
 /// Usage: bench_throughput [--target-gbps G] [--max-bursts M] [--markdown]
-///                         [--threads T]
+///                         [--threads T] [--json FILE]
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "sim/sweep.hpp"
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
+  cli.add_option("json", "file", "write config + wall time + records as JSON");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -38,7 +42,11 @@ int main(int argc, char** argv) {
   options.max_bursts_per_phase =
       static_cast<std::uint64_t>(cli.get_int("max-bursts", 0));
   const auto grid = tbi::sim::SweepGrid::paper_bandwidth_grid();
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto records = tbi::sim::run_bandwidth_sweep(grid, options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   tbi::TextTable t("Achievable interleaver throughput (min of both phases)");
   t.set_header({"DRAM Configuration", "Peak", "Row-Major", "Optimized",
@@ -69,5 +77,41 @@ int main(int argc, char** argv) {
       "\nAll numbers in Gbit/s. OK? columns: half the min-phase bandwidth\n"
       "must clear the %.0f Gbit/s link (each bit is written and read).\n",
       target);
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_throughput";
+    tbi::Json config;
+    config["target_gbps"] = target;
+    config["max_bursts"] = options.max_bursts_per_phase;
+    config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    std::uint64_t total_bursts = 0;
+    tbi::Json::Array rows;
+    for (const auto& r : records) {
+      const auto& device = r.config.device;
+      tbi::Json row;
+      row["device"] = device.name;
+      row["mapping"] = r.run.mapping_name;
+      row["peak_gbps"] = device.peak_bandwidth_gbps();
+      row["write_gbps"] = r.run.write.stats.bandwidth_gbps(device.burst_bytes);
+      row["read_gbps"] = r.run.read.stats.bandwidth_gbps(device.burst_bytes);
+      row["throughput_gbps"] = r.run.throughput_gbps(device.burst_bytes);
+      row["meets_target"] = r.run.throughput_gbps(device.burst_bytes) / 2.0 >= target;
+      rows.push_back(row);
+      total_bursts += r.run.write.stats.bursts + r.run.read.stats.bursts;
+    }
+    doc["records"] = rows;
+    doc["simulated_bursts"] = total_bursts;
+    doc["bursts_per_second"] =
+        wall_seconds > 0 ? static_cast<double>(total_bursts) / wall_seconds : 0.0;
+    std::ofstream out(cli.get("json", ""));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+      return 1;
+    }
+    out << doc.dump(2) << '\n';
+  }
   return 0;
 }

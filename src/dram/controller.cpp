@@ -1,6 +1,7 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -27,6 +28,25 @@ Controller::Controller(DeviceConfig device, ControllerConfig config)
   banks_.resize(device_.banks);
   last_act_in_group_.assign(device_.bank_groups, kNegInf);
   last_cas_in_group_.assign(device_.bank_groups, kNegInf);
+  group_of_.resize(device_.banks);
+  for (std::uint32_t b = 0; b < device_.banks; ++b) {
+    group_of_[b] = b % device_.bank_groups;
+  }
+  queued_per_group_.assign(device_.bank_groups, {0, 0});
+
+  slots_.resize(config_.queue_depth);
+  free_slots_.reserve(config_.queue_depth);
+  for (std::uint32_t id = config_.queue_depth; id-- > 0;) free_slots_.push_back(id);
+  fifo_next_.assign(config_.queue_depth, kNoSlot);
+  fifo_prev_.assign(config_.queue_depth, kNoSlot);
+  bank_next_.assign(config_.queue_depth, kNoSlot);
+  bank_prev_.assign(config_.queue_depth, kNoSlot);
+  bins_.resize(device_.banks);
+  populated_.assign((device_.banks + 63) / 64, 0);
+  std::size_t table = 64;
+  while (table < static_cast<std::size_t>(config_.queue_depth) * 4) table *= 2;
+  row_counts_.assign(table, RowCountEntry{});
+  row_mask_ = table - 1;
 
   switch (refresh_mode_) {
     case RefreshMode::Disabled:
@@ -74,27 +94,27 @@ RowBufferResult Controller::classify(const Request& req) const {
 }
 
 Ps Controller::earliest_act_after(Ps floor, std::uint32_t bank_id) const {
-  const unsigned bg = bank_id % device_.bank_groups;
+  const unsigned bg = group_of_[bank_id];
   Ps t = floor;
   t = std::max(t, last_act_any_ + device_.timing.tRRD_S);
   t = std::max(t, last_act_in_group_[bg] + device_.timing.tRRD_L);
-  if (faw_window_.size() == 4) {
-    t = std::max(t, faw_window_.front() + device_.timing.tFAW);
+  if (faw_len_ == 4) {
+    t = std::max(t, faw_[faw_head_] + device_.timing.tFAW);
   }
   return t;
 }
 
-Controller::Plan Controller::plan_request(const Request& req) const {
-  const std::uint32_t bank_id = req.addr.bank;
-  const unsigned bg = bank_id % device_.bank_groups;
+Controller::Plan Controller::plan_class(std::uint32_t bank_id, RowBufferResult kind,
+                                        bool is_write) const {
+  const unsigned bg = group_of_[bank_id];
   const Bank& b = banks_[bank_id];
   const TimingParams& t = device_.timing;
 
   Plan plan;
-  plan.kind = classify(req);
+  plan.kind = kind;
 
   Ps rdwr_ready = b.rdwr_ready;
-  switch (plan.kind) {
+  switch (kind) {
     case RowBufferResult::Hit:
       break;
     case RowBufferResult::Miss: {
@@ -114,14 +134,14 @@ Controller::Plan Controller::plan_request(const Request& req) const {
   Ps cas_t = rdwr_ready;
   cas_t = std::max(cas_t, last_cas_any_ + t.tCCD_S);
   cas_t = std::max(cas_t, last_cas_in_group_[bg] + t.tCCD_L);
-  if (!req.is_write) {
+  if (!is_write) {
     cas_t = std::max(cas_t, last_wr_data_end_ + t.tWTR);  // rank-level W->R
   }
 
-  const Ps cas_latency = req.is_write ? t.CWL : t.CL;
+  const Ps cas_latency = is_write ? t.CWL : t.CL;
   Ps data_start = cas_t + cas_latency;
   Ps bus_ready = bus_free_;
-  if (req.is_write && !last_burst_was_write_) {
+  if (is_write && !last_burst_was_write_) {
     bus_ready = std::max(bus_ready, last_rd_data_end_ + t.tRTW_bubble);
   }
   if (data_start < bus_ready) {
@@ -135,10 +155,53 @@ Controller::Plan Controller::plan_request(const Request& req) const {
   return plan;
 }
 
+Ps Controller::eval_class(std::uint32_t bank_id, RowBufferResult kind,
+                          bool is_write) const {
+  // Mirrors plan_class() but folds straight to data_start:
+  //   data_start = max(cas_t + latency, bus_ready)
+  // with cas_t the max of the bank-chain, CAS-rate and W->R floors.
+  const unsigned bg = group_of_[bank_id];
+  const Bank& b = banks_[bank_id];
+  const TimingParams& t = device_.timing;
+
+  Ps rdwr_ready = b.rdwr_ready;
+  switch (kind) {
+    case RowBufferResult::Hit:
+      break;
+    case RowBufferResult::Miss:
+      rdwr_ready = earliest_act_after(b.act_ready, bank_id) + t.tRCD;
+      break;
+    case RowBufferResult::Conflict: {
+      const Ps pre_t = std::max(b.pre_ready, b.last_act + t.tRAS);
+      const Ps act_floor = std::max(b.act_ready, pre_t + t.tRP);
+      rdwr_ready = earliest_act_after(act_floor, bank_id) + t.tRCD;
+      break;
+    }
+  }
+
+  Ps cas_t = std::max(rdwr_ready, last_cas_any_ + t.tCCD_S);
+  cas_t = std::max(cas_t, last_cas_in_group_[bg] + t.tCCD_L);
+  Ps bus_ready = bus_free_;
+  if (is_write) {
+    if (!last_burst_was_write_) {
+      bus_ready = std::max(bus_ready, last_rd_data_end_ + t.tRTW_bubble);
+    }
+    return std::max(cas_t + t.CWL, bus_ready);
+  }
+  cas_t = std::max(cas_t, last_wr_data_end_ + t.tWTR);  // rank-level W->R
+  return std::max(cas_t + t.CL, bus_ready);
+}
+
+Controller::Plan Controller::plan_request(const Request& req) const {
+  return plan_class(req.addr.bank, classify(req), req.is_write);
+}
+
 Ps Controller::close_bank(std::uint32_t bank_id, PhaseStats& stats) {
   Bank& b = banks_[bank_id];
   assert(b.open);
   const Ps pre_t = std::max(b.pre_ready, b.last_act + device_.timing.tRAS);
+  queued_hits_ -= row_count_get(row_key(bank_id, b.row, false)) +
+                  row_count_get(row_key(bank_id, b.row, true));
   b.open = false;
   b.act_ready = std::max(b.act_ready, pre_t + device_.timing.tRP);
   b.ref_ready = std::max(b.ref_ready, pre_t + device_.timing.tRP);
@@ -150,13 +213,18 @@ Ps Controller::close_bank(std::uint32_t bank_id, PhaseStats& stats) {
 void Controller::note_act_rate(Ps t, unsigned bank_group) {
   last_act_any_ = t;
   last_act_in_group_[bank_group] = t;
-  faw_window_.push_back(t);
-  if (faw_window_.size() > 4) faw_window_.pop_front();
+  if (faw_len_ < 4) {
+    faw_[(faw_head_ + faw_len_) & 3] = t;
+    ++faw_len_;
+  } else {
+    faw_[faw_head_] = t;
+    faw_head_ = (faw_head_ + 1) & 3;
+  }
 }
 
 void Controller::commit(const Request& req, const Plan& plan, PhaseStats& stats) {
   const std::uint32_t bank_id = req.addr.bank;
-  const unsigned bg = bank_id % device_.bank_groups;
+  const unsigned bg = group_of_[bank_id];
   Bank& b = banks_[bank_id];
   const TimingParams& t = device_.timing;
 
@@ -166,6 +234,8 @@ void Controller::commit(const Request& req, const Plan& plan, PhaseStats& stats)
       break;
     case RowBufferResult::Conflict: {
       ++stats.row_conflicts;
+      queued_hits_ -= row_count_get(row_key(bank_id, b.row, false)) +
+                      row_count_get(row_key(bank_id, b.row, true));
       b.open = false;
       b.act_ready = std::max(b.act_ready, plan.pre_t + t.tRP);
       b.ref_ready = std::max(b.ref_ready, plan.pre_t + t.tRP);
@@ -177,6 +247,8 @@ void Controller::commit(const Request& req, const Plan& plan, PhaseStats& stats)
       if (plan.kind == RowBufferResult::Miss) ++stats.row_misses;
       b.open = true;
       b.row = req.addr.row;
+      queued_hits_ += row_count_get(row_key(bank_id, b.row, false)) +
+                      row_count_get(row_key(bank_id, b.row, true));
       b.last_act = plan.act_t;
       b.act_ready = plan.act_t + t.tRC;
       b.rdwr_ready = plan.act_t + t.tRCD;
@@ -218,22 +290,325 @@ void Controller::commit(const Request& req, const Plan& plan, PhaseStats& stats)
                .data_end = plan.data_end});
 }
 
-std::size_t Controller::pick_request() const {
-  assert(!queue_.empty());
-  if (config_.policy == ControllerConfig::Policy::Fcfs) return 0;
+std::size_t Controller::row_slot(std::uint64_t key) const {
+  // Fibonacci hashing: one multiply, top bits. The keys are structured
+  // (bank | row | dir) and the golden-ratio multiply spreads consecutive
+  // rows well enough for short linear-probe chains at 4x slack.
+  const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(h >> 32) & row_mask_;
+}
 
-  // Earliest-data-slot greedy (see ControllerConfig::Policy). data_start
-  // can never precede the current bus_free_, so a request landing exactly
-  // there is unbeatable and ends the scan early; ties resolve to the
-  // oldest request because the queue is scanned in arrival order.
-  std::size_t best = 0;
+void Controller::row_count_add(std::uint64_t key) {
+  std::size_t i = row_slot(key);
+  while (row_counts_[i].key != key && row_counts_[i].key != kEmptyKey) {
+    i = (i + 1) & row_mask_;
+  }
+  row_counts_[i].key = key;
+  ++row_counts_[i].count;
+}
+
+void Controller::row_count_remove(std::uint64_t key) {
+  std::size_t i = row_slot(key);
+  while (row_counts_[i].key != key) i = (i + 1) & row_mask_;
+  if (--row_counts_[i].count > 0) return;
+  // Backward-shift deletion keeps probe chains tombstone-free.
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & row_mask_;
+    if (row_counts_[j].key == kEmptyKey) break;
+    const std::size_t ideal = row_slot(row_counts_[j].key);
+    if (((j - ideal) & row_mask_) >= ((j - i) & row_mask_)) {
+      row_counts_[i] = row_counts_[j];
+      i = j;
+    }
+  }
+  row_counts_[i] = RowCountEntry{};
+}
+
+std::uint32_t Controller::row_count_get(std::uint64_t key) const {
+  std::size_t i = row_slot(key);
+  while (row_counts_[i].key != kEmptyKey) {
+    if (row_counts_[i].key == key) return row_counts_[i].count;
+    i = (i + 1) & row_mask_;
+  }
+  return 0;
+}
+
+std::uint32_t Controller::enqueue(const Request& req) {
+  assert(!free_slots_.empty());
+  const std::uint32_t id = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[id] = req;
+
+  fifo_prev_[id] = fifo_tail_;
+  fifo_next_[id] = kNoSlot;
+  if (fifo_tail_ != kNoSlot) {
+    fifo_next_[fifo_tail_] = id;
+  } else {
+    fifo_head_ = id;
+  }
+  fifo_tail_ = id;
+
+  Bin& bin = bins_[req.addr.bank];
+  bank_prev_[id] = bin.tail;
+  bank_next_[id] = kNoSlot;
+  if (bin.tail != kNoSlot) {
+    bank_next_[bin.tail] = id;
+  } else {
+    bin.head = id;
+    populated_[req.addr.bank >> 6] |= std::uint64_t{1} << (req.addr.bank & 63);
+  }
+  bin.tail = id;
+  ++bin.total[req.is_write ? 1 : 0];
+  ++queued_per_group_[group_of_[req.addr.bank]][req.is_write ? 1 : 0];
+  row_count_add(row_key(req.addr.bank, req.addr.row, req.is_write));
+  const Bank& b = banks_[req.addr.bank];
+  if (b.open && b.row == req.addr.row) ++queued_hits_;
+  return id;
+}
+
+void Controller::dequeue(std::uint32_t slot_id) {
+  const std::uint32_t fn = fifo_next_[slot_id];
+  const std::uint32_t fp = fifo_prev_[slot_id];
+  (fp != kNoSlot ? fifo_next_[fp] : fifo_head_) = fn;
+  (fn != kNoSlot ? fifo_prev_[fn] : fifo_tail_) = fp;
+
+  const Request& req = slots_[slot_id];
+  Bin& bin = bins_[req.addr.bank];
+  const std::uint32_t bn = bank_next_[slot_id];
+  const std::uint32_t bp = bank_prev_[slot_id];
+  (bp != kNoSlot ? bank_next_[bp] : bin.head) = bn;
+  (bn != kNoSlot ? bank_prev_[bn] : bin.tail) = bp;
+  if (bin.head == kNoSlot) {
+    populated_[req.addr.bank >> 6] &= ~(std::uint64_t{1} << (req.addr.bank & 63));
+  }
+  --bin.total[req.is_write ? 1 : 0];
+  --queued_per_group_[group_of_[req.addr.bank]][req.is_write ? 1 : 0];
+  row_count_remove(row_key(req.addr.bank, req.addr.row, req.is_write));
+  const Bank& b = banks_[req.addr.bank];
+  if (b.open && b.row == req.addr.row) --queued_hits_;
+
+  free_slots_.push_back(slot_id);
+}
+
+Ps Controller::pick_bound() const {
+  // E = min over populated (bank group, direction) classes of the
+  // group-global data-slot floor. Every term is a floor that
+  // plan_class() applies to every request of that group and direction,
+  // so no queued request can start earlier. Using each group's own
+  // CAS-rate state (instead of the loosest group's) makes the floor
+  // exact whenever the winner is rate- rather than bank-limited — the
+  // steady state of every paper workload. When no queued request hits
+  // an open row, every plan additionally carries an ACT, so the group's
+  // ACT-rate floor (tRRD / four-activate window) plus tRCD tightens the
+  // bound further — the ACT-limited conflict-chain regimes.
+  const TimingParams& t = device_.timing;
+  const Ps cas_any = last_cas_any_ + t.tCCD_S;
+  Ps act_any = kNegInf;
+  if (queued_hits_ == 0) {
+    act_any = last_act_any_ + t.tRRD_S;
+    if (faw_len_ == 4) act_any = std::max(act_any, faw_[faw_head_] + t.tFAW);
+  }
+  const Ps wtr_floor = last_wr_data_end_ + t.tWTR;
+  Ps bus_w = bus_free_;
+  if (!last_burst_was_write_) {
+    bus_w = std::max(bus_w, last_rd_data_end_ + t.tRTW_bubble);
+  }
+
+  Ps bound = std::numeric_limits<Ps>::max();
+  for (std::size_t g = 0; g < queued_per_group_.size(); ++g) {
+    const auto& queued = queued_per_group_[g];
+    if (queued[0] == 0 && queued[1] == 0) continue;
+    Ps cas_g = std::max(cas_any, last_cas_in_group_[g] + t.tCCD_L);
+    if (queued_hits_ == 0) {
+      const Ps act_g =
+          std::max(act_any, last_act_in_group_[g] + t.tRRD_L);
+      cas_g = std::max(cas_g, act_g + t.tRCD);
+    }
+    if (queued[0] > 0) {  // reads
+      const Ps cas_r = std::max(cas_g, wtr_floor);
+      bound = std::min(bound, std::max(bus_free_, cas_r + t.CL));
+    }
+    if (queued[1] > 0) {  // writes
+      bound = std::min(bound, std::max(bus_w, cas_g + t.CWL));
+    }
+  }
+  return bound;
+}
+
+#ifdef TBI_PICK_STATS
+namespace {
+struct PickStats {
+  unsigned long long picks = 0, fast_exits = 0, fallback_banks = 0, plans = 0;
+  unsigned long long exit_step[17] = {};
+  ~PickStats() {
+    std::fprintf(stderr,
+                 "picks %llu fast %llu (%.1f%%) fallback-banks/pick %.2f "
+                 "plans/pick %.2f\n",
+                 picks, fast_exits, 100.0 * fast_exits / picks,
+                 double(fallback_banks) / picks, double(plans) / picks);
+    for (int i = 0; i < 17; ++i)
+      if (exit_step[i])
+        std::fprintf(stderr, "  exit@walk%d: %.1f%%\n", i,
+                     100.0 * exit_step[i] / picks);
+  }
+} g_pick_stats;
+}  // namespace
+#define PICK_STAT(field, n) (g_pick_stats.field += (n))
+#else
+#define PICK_STAT(field, n) ((void)0)
+#endif
+
+std::uint32_t Controller::pick_fr_fcfs(Plan& plan_out) const {
+  assert(fifo_head_ != kNoSlot);
+  // Fast path: walk the oldest few requests in age order and compare
+  // each Plan against the global floor E (pick_bound). data_start >= E
+  // for every queued request, so the first — i.e. oldest — request
+  // landing on the floor is unbeatable: nothing can be earlier, and it
+  // wins every tie by age. In steady state (bus- or rate-limited, the
+  // regime of every paper workload) some front-of-queue request sits on
+  // the floor and the pick resolves after one or two Plans. Consecutive
+  // classmates (same bank, outcome, direction) share a Plan and lose the
+  // age tie-break, so runs of them — the single-bank conflict-chain
+  // regime — cost one classify() each, not a replan.
+  constexpr unsigned kWalkLimit = 8;
+  PICK_STAT(picks, 1);
+  // Nothing can start before the current end of the bus schedule, so a
+  // head request landing exactly there wins outright — without even
+  // computing the full floor. This is the saturated-bus steady state.
+  const Request& head = slots_[fifo_head_];
+  const RowBufferResult head_kind = classify(head);
+  if (fifo_next_[fifo_head_] == kNoSlot) {  // single-element queue
+    PICK_STAT(fast_exits, 1);
+    plan_out = plan_class(head.addr.bank, head_kind, head.is_write);
+    return fifo_head_;
+  }
+  const Ps head_ds = eval_class(head.addr.bank, head_kind, head.is_write);
+  if (head_ds <= bus_free_) {
+    PICK_STAT(fast_exits, 1);
+    PICK_STAT(exit_step[0], 1);
+    plan_out = plan_class(head.addr.bank, head_kind, head.is_write);
+    return fifo_head_;
+  }
+  const Ps bound = pick_bound();
+  if (head_ds <= bound) {  // oldest on the floor: unbeatable
+    PICK_STAT(fast_exits, 1);
+    PICK_STAT(exit_step[0], 1);
+    plan_out = plan_class(head.addr.bank, head_kind, head.is_write);
+    return fifo_head_;
+  }
+  std::uint32_t best = fifo_head_;
+  Ps best_slot = head_ds;
+  std::uint64_t best_seq = head.seq;
+  std::uint32_t prev_bank = head.addr.bank;
+  unsigned prev_class = class_index(head_kind, head.is_write);
+  std::uint32_t id = fifo_next_[fifo_head_];
+  for (unsigned walked = 1; walked < kWalkLimit && id != kNoSlot;
+       ++walked, id = fifo_next_[id]) {
+    const Request& r = slots_[id];
+    const RowBufferResult kind = classify(r);
+    const unsigned cls = class_index(kind, r.is_write);
+    if (r.addr.bank == prev_bank && cls == prev_class) continue;
+    prev_bank = r.addr.bank;
+    prev_class = cls;
+    const Ps ds = eval_class(r.addr.bank, kind, r.is_write);
+    PICK_STAT(plans, 1);
+    if (ds < best_slot) {  // age order: ties keep the older
+      best_slot = ds;
+      best_seq = r.seq;
+      best = id;
+      if (best_slot <= bound) {
+        PICK_STAT(fast_exits, 1);
+        PICK_STAT(exit_step[walked > 16 ? 16 : walked], 1);
+        plan_out = plan_class(r.addr.bank, kind, r.is_write);
+        return best;
+      }
+    }
+  }
+  if (id == kNoSlot) {  // the walk covered the whole queue
+    plan_out = plan_request(slots_[best]);
+    return best;
+  }
+
+  // Fallback: only the oldest queued request of each (bank, outcome,
+  // direction) class can win — classmates share one Plan and lose the
+  // age tie-break. Which classes are populated follows in O(1) from the
+  // membership counts and the bank's open row, and each bin scan stops
+  // once every populated class produced its oldest member, so the fold
+  // is O(banks with queued work) instead of O(queue_depth). Re-planning
+  // a class the walk already folded is harmless: it reproduces the same
+  // (data_start, seq) and loses the strict comparison.
+  for (std::size_t w = 0; w < populated_.size(); ++w) {
+  for (std::uint64_t word = populated_[w]; word != 0; word &= word - 1) {
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(w * 64) +
+        static_cast<std::uint32_t>(std::countr_zero(word));
+    const Bin& bin = bins_[bank];
+    PICK_STAT(fallback_banks, 1);
+    // Once some candidate reached the floor, plans strictly below it are
+    // impossible and ties lose to age: a bank whose oldest request is
+    // younger than the incumbent cannot win.
+    if (best_slot <= bound && slots_[bin.head].seq > best_seq) continue;
+    const Bank& b = banks_[bank];
+    // Every class of this bank starts at or after rdwr_ready + CAS
+    // latency (an ACT chain only pushes later), so a bank strictly above
+    // the incumbent cannot win or tie.
+    const Ps lat_min = std::min(device_.timing.CL, device_.timing.CWL);
+    if (b.rdwr_ready + lat_min > best_slot) continue;
+    unsigned present = 0;
+    if (!b.open) {
+      for (unsigned dir = 0; dir < 2; ++dir) {
+        if (bin.total[dir] > 0) {
+          present |= 1u << class_index(RowBufferResult::Miss, dir != 0);
+        }
+      }
+    } else {
+      for (unsigned dir = 0; dir < 2; ++dir) {
+        if (bin.total[dir] == 0) continue;
+        const std::uint32_t hits = row_count_get(row_key(bank, b.row, dir != 0));
+        if (hits > 0) present |= 1u << class_index(RowBufferResult::Hit, dir != 0);
+        if (bin.total[dir] > hits) {
+          present |= 1u << class_index(RowBufferResult::Conflict, dir != 0);
+        }
+      }
+    }
+    for (std::uint32_t cand = bin.head; cand != kNoSlot && present != 0;
+         cand = bank_next_[cand]) {
+      const Request& r = slots_[cand];
+      const RowBufferResult kind = classify(r);
+      const unsigned c = class_index(kind, r.is_write);
+      if ((present & (1u << c)) == 0) continue;
+      present &= ~(1u << c);
+      PICK_STAT(plans, 1);
+      const Ps ds = eval_class(bank, kind, r.is_write);
+      if (ds < best_slot || (ds == best_slot && r.seq < best_seq)) {
+        best_slot = ds;
+        best_seq = r.seq;
+        best = cand;
+      }
+    }
+  }
+  }
+  plan_out = plan_request(slots_[best]);
+  return best;
+}
+
+std::uint32_t Controller::pick_fr_fcfs_oracle(Plan& plan_out) const {
+  assert(fifo_head_ != kNoSlot);
+  // Brute-force reference: replan every queued request on every pick.
+  // data_start can never precede the current bus_free_, so a request
+  // landing exactly there is unbeatable and ends the scan early; ties
+  // resolve to the oldest request because the FIFO is scanned in arrival
+  // order.
+  std::uint32_t best = fifo_head_;
   Ps best_slot = std::numeric_limits<Ps>::max();
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Ps slot = plan_request(queue_[i]).data_start;
-    if (slot < best_slot) {
-      best_slot = slot;
-      best = i;
-      if (slot <= bus_free_) break;
+  for (std::uint32_t id = fifo_head_; id != kNoSlot; id = fifo_next_[id]) {
+    const Plan p = plan_request(slots_[id]);
+    if (p.data_start < best_slot) {
+      best_slot = p.data_start;
+      best = id;
+      plan_out = p;
+      if (best_slot <= bus_free_) break;
     }
   }
   return best;
@@ -290,25 +665,41 @@ PhaseStats Controller::run_phase(RequestStream& stream, std::string label) {
   PhaseStats stats;
   stats.label = std::move(label);
 
+  const std::uint32_t banks = device_.banks;
+  const std::uint32_t rows = device_.rows_per_bank;
+  const std::uint32_t columns = device_.columns_per_page;
   auto refill = [&] {
     Request r;
-    while (queue_.size() < config_.queue_depth && stream.next(r)) {
+    while (!free_slots_.empty() && stream.next(r)) {
       r.seq = next_seq_++;
-      if (r.addr.bank >= device_.banks || r.addr.row >= device_.rows_per_bank ||
-          r.addr.column >= device_.columns_per_page) {
+      if (r.addr.bank >= banks || r.addr.row >= rows || r.addr.column >= columns) {
         throw std::out_of_range("Controller: request address outside device");
       }
-      queue_.push_back(r);
+      enqueue(r);
     }
   };
 
   refill();
-  while (!queue_.empty()) {
+  while (fifo_head_ != kNoSlot) {
     refresh_if_due(stats);
-    const std::size_t idx = pick_request();
-    const Request req = queue_[idx];
-    const Plan plan = plan_request(req);
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    Plan plan;
+    std::uint32_t slot_id;
+    switch (config_.policy) {
+      case ControllerConfig::Policy::Fcfs:
+        slot_id = fifo_head_;
+        plan = plan_request(slots_[slot_id]);
+        break;
+      case ControllerConfig::Policy::FrFcfs:
+        slot_id = pick_fr_fcfs(plan);
+        break;
+      case ControllerConfig::Policy::FrFcfsOracle:
+        slot_id = pick_fr_fcfs_oracle(plan);
+        break;
+      default:
+        throw std::logic_error("Controller: unknown policy");
+    }
+    const Request req = slots_[slot_id];
+    dequeue(slot_id);
     commit(req, plan, stats);
     refill();
   }

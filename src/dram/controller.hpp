@@ -10,6 +10,48 @@
 /// fast enough (millions of bursts per second) to reproduce all Table I
 /// configurations in seconds.
 ///
+/// Incremental FR-FCFS (design note). The earliest-data-slot pick needs
+/// the earliest-legal Plan of every queued request, but a full replan of
+/// the whole queue per burst is O(queue_depth) and dominates paper-scale
+/// runs. The scheduler instead exploits two structural facts of the
+/// timing model:
+///
+///  1. Class sharing. A request's Plan depends only on (bank, row-buffer
+///     outcome, direction) plus global bus/CAS/ACT-rate state — never on
+///     its row or column — so all queued requests of one bank with the
+///     same outcome and direction share one Plan, and only the *oldest*
+///     member of each such class can win the pick (ties go to age).
+///     Requests are binned per bank on intrusive arrival-ordered lists,
+///     and a pick evaluates at most one Plan per populated class.
+///  2. A computable global floor. Every Plan of direction d satisfies
+///     data_start >= E(d) = max(bus availability, global CAS-rate floor
+///     + CAS latency), a bound built purely from rank-global state in
+///     O(1). The globally oldest request is planned first; if it lands
+///     on the floor it is unbeatable — nothing can be earlier and it
+///     wins every tie — so the steady-state pick costs ONE Plan. Only
+///     when bank-local chains (tRP/tRCD/tRAS) push the oldest request
+///     off the floor does the pick fall back to the per-bank class scan,
+///     which again prunes with the floor: once some candidate reaches
+///     E, a bank whose oldest request is younger cannot win and is
+///     skipped without planning.
+///
+/// Cache and invalidation rules: which classes are populated is tracked
+/// by state-independent membership counts — per-bin totals per direction
+/// plus an exact (bank, row, direction) count table — updated only on
+/// enqueue/dequeue and never invalidated, because a committed command
+/// changes a bank's *open row*, not which rows the queued requests
+/// target. Comparing a bin's counts against its bank's open row yields
+/// the populated classes in O(1) (e.g. zero requests for the open row
+/// proves there is no hit without touching the bin). Global bus/CAS/ACT
+/// state changes on *every* commit, but it enters the Plan through a
+/// handful of max() terms, so it is folded in fresh, in O(1) per
+/// evaluated class, at pick time rather than invalidating anything.
+/// A pick is thus O(1) in steady state and O(banks with queued work)
+/// in the worst case, not O(queue_depth), and the command stream is
+/// bit-identical to the brute-force scan (Policy::FrFcfsOracle keeps the
+/// replan-everything reference; a randomized test asserts equivalence on
+/// DDR4/DDR5/LPDDR4).
+///
 /// Fidelity notes (DESIGN.md §5): per-bank row state, bank-group-aware
 /// tCCD/tRRD, the four-activate window, rank-level write-to-read
 /// turnaround, data-bus serialization, and all-bank / per-bank / same-bank
@@ -18,7 +60,7 @@
 /// independently re-validates the protocol.
 #pragma once
 
-#include <deque>
+#include <array>
 #include <limits>
 #include <vector>
 
@@ -42,9 +84,11 @@ struct ControllerConfig {
   /// the oldest). This emulates a cycle-accurate FR-FCFS controller: row
   /// hits naturally overtake conflicting requests while a conflict whose
   /// PRE/ACT chain has completed costs nothing extra and regains priority
-  /// through its age.
+  /// through its age. Implemented incrementally (see the design note in
+  /// the file header); FrFcfsOracle is the brute-force replan-everything
+  /// reference with the same observable behavior, kept for validation.
   /// Fcfs: strict arrival order (baseline for tests/ablation).
-  enum class Policy { FrFcfs, Fcfs };
+  enum class Policy { FrFcfs, Fcfs, FrFcfsOracle };
 
   unsigned queue_depth = 64;
   Policy policy = Policy::FrFcfs;
@@ -74,6 +118,7 @@ class Controller {
 
  private:
   static constexpr Ps kNegInf = std::numeric_limits<Ps>::min() / 4;
+  static constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
 
   struct Bank {
     bool open = false;
@@ -95,7 +140,44 @@ class Controller {
     Ps data_end = 0;
   };
 
+  /// Per-bank view of the queue for the incremental FR-FCFS pick: an
+  /// intrusive arrival-ordered list of the bank's queued slots plus
+  /// per-direction member totals. Which (outcome x direction) classes are
+  /// populated is derived in O(1) from the totals and the row-count table
+  /// (see the header design note), so the per-bin scan for class
+  /// representatives stops as soon as every populated class produced its
+  /// oldest member — one step in the common single-class regimes.
+  struct Bin {
+    std::uint32_t head = kNoSlot;          ///< oldest queued slot of this bank
+    std::uint32_t tail = kNoSlot;
+    std::array<std::uint32_t, 2> total{};  ///< queued members per direction
+  };
+
+  /// Open-addressing count table keyed by (bank, row, direction): how
+  /// many queued requests target that exact page. Membership counts do
+  /// not depend on bank state, so they are maintained incrementally on
+  /// enqueue/dequeue only and never invalidated; the pick uses them to
+  /// prove the absence of row hits without scanning a bin. Linear
+  /// probing with backward-shift deletion; sized at 4x queue depth so
+  /// probe chains stay short.
+  struct RowCountEntry {
+    std::uint64_t key = kEmptyKey;
+    std::uint32_t count = 0;
+  };
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  static constexpr unsigned class_index(RowBufferResult kind, bool is_write) {
+    return static_cast<unsigned>(kind) * 2 + (is_write ? 1 : 0);
+  }
+
   RowBufferResult classify(const Request& req) const;
+  /// Earliest-legal Plan for any (bank, outcome, direction) class; the
+  /// single source of scheduling truth shared by all policies.
+  Plan plan_class(std::uint32_t bank_id, RowBufferResult kind, bool is_write) const;
+  /// data_start of plan_class() alone — the pick's comparison key —
+  /// without materializing the Plan. The winner is re-planned in full
+  /// exactly once per pick.
+  Ps eval_class(std::uint32_t bank_id, RowBufferResult kind, bool is_write) const;
   Plan plan_request(const Request& req) const;
   void commit(const Request& req, const Plan& plan, PhaseStats& stats);
   void refresh_if_due(PhaseStats& stats);
@@ -103,8 +185,26 @@ class Controller {
   Ps close_bank(std::uint32_t bank_id, PhaseStats& stats);
   void note_act_rate(Ps t, unsigned bank_group);
   Ps earliest_act_after(Ps floor, std::uint32_t bank_id) const;
-  std::size_t pick_request() const;
   void emit(const Command& cmd);
+
+  // Queue management (slot arena + arrival FIFO + per-bank bins).
+  std::uint32_t enqueue(const Request& req);
+  void dequeue(std::uint32_t slot_id);
+  /// E = min over queued directions of the global data-slot floor (see
+  /// the header design note): no queued request can start earlier.
+  Ps pick_bound() const;
+  std::uint32_t pick_fr_fcfs(Plan& plan_out) const;
+  std::uint32_t pick_fr_fcfs_oracle(Plan& plan_out) const;
+
+  // Row-count table primitives.
+  static std::uint64_t row_key(std::uint32_t bank, std::uint32_t row, bool is_write) {
+    return (static_cast<std::uint64_t>(bank) << 33) |
+           (static_cast<std::uint64_t>(row) << 1) | (is_write ? 1 : 0);
+  }
+  std::size_t row_slot(std::uint64_t key) const;
+  void row_count_add(std::uint64_t key);
+  void row_count_remove(std::uint64_t key);
+  std::uint32_t row_count_get(std::uint64_t key) const;
 
   DeviceConfig device_;
   ControllerConfig config_;
@@ -114,9 +214,14 @@ class Controller {
   std::vector<Bank> banks_;
   std::vector<Ps> last_act_in_group_;   ///< per bank group, for tRRD_L
   std::vector<Ps> last_cas_in_group_;   ///< per bank group, for tCCD_L
+  std::vector<std::uint32_t> group_of_; ///< bank id -> bank group (no div on hot path)
   Ps last_act_any_ = kNegInf;
   Ps last_cas_any_ = kNegInf;
-  std::deque<Ps> faw_window_;           ///< issue times of recent ACTs
+  // Four-activate window as a fixed ring (ACT times are strictly
+  // increasing, so the oldest of the last four is faw_[faw_head_]).
+  std::array<Ps, 4> faw_{};
+  unsigned faw_head_ = 0;
+  unsigned faw_len_ = 0;
   Ps bus_free_ = 0;
   Ps last_wr_data_end_ = kNegInf;
   Ps last_rd_data_end_ = kNegInf;
@@ -129,7 +234,32 @@ class Controller {
   unsigned next_refresh_group_ = 0;
   Ps last_refresh_ = kNegInf;
 
-  std::deque<Request> queue_;
+  // Scheduling queue: a fixed arena of requests threaded onto two
+  // intrusive doubly-linked lists — the global arrival FIFO and the
+  // owning bank's bin — so enqueue, dequeue and in-order iteration are
+  // all O(1) with no element movement at any queue depth.
+  std::vector<Request> slots_;               ///< fixed arena of queued requests
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> fifo_next_, fifo_prev_;
+  std::vector<std::uint32_t> bank_next_, bank_prev_;
+  std::uint32_t fifo_head_ = kNoSlot;        ///< oldest queued slot
+  std::uint32_t fifo_tail_ = kNoSlot;
+  std::vector<Bin> bins_;                    ///< one per bank
+  /// Bitmask of banks with a non-empty bin (64 banks per word); the
+  /// pick's fallback visits only set bits instead of scanning every bank.
+  std::vector<std::uint64_t> populated_;
+  std::vector<RowCountEntry> row_counts_;    ///< (bank, row, dir) -> queued count
+  std::size_t row_mask_ = 0;                 ///< row_counts_.size() - 1 (power of two)
+  /// Queued totals per (bank group, direction): lets the pick's floor use
+  /// each populated group's own CAS/ACT-rate state instead of the loosest
+  /// group's, which is what makes it exact in the steady state.
+  std::vector<std::array<std::uint32_t, 2>> queued_per_group_;
+  /// Number of queued requests that currently hit an open row. Updated on
+  /// enqueue/dequeue and on every open-row change (ACT/PRE/refresh).
+  /// When zero, every queued request needs an ACT, so the pick's floor
+  /// may include the global ACT-rate terms — the tight bound in the
+  /// ACT-limited (conflict-chain) regimes.
+  std::uint32_t queued_hits_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -29,47 +29,6 @@ AddressDecoder::AddressDecoder(const DeviceConfig& device, AddressLayout layout)
   }
 }
 
-Address AddressDecoder::decode(std::uint64_t idx) const {
-  if (idx >= capacity_) throw std::out_of_range("AddressDecoder: index beyond capacity");
-  Address a;
-  switch (layout_) {
-    case AddressLayout::RoBaCoBg:
-    case AddressLayout::RoBaCoBgXor: {
-      // idx = row | bank-in-group | column | bank-group
-      // Bank-group bits are the lowest bits: consecutive bursts rotate
-      // groups; the flat bank id is group-major (bank % groups == group).
-      unsigned pos = 0;
-      const std::uint64_t group = extract_bits(idx, pos, group_bits_);
-      pos += group_bits_;
-      const std::uint64_t col = extract_bits(idx, pos, column_bits_);
-      pos += column_bits_;
-      std::uint64_t bank_in_group = extract_bits(idx, pos, bank_bits_ - group_bits_);
-      pos += bank_bits_ - group_bits_;
-      const std::uint64_t row = idx >> pos;
-      if (layout_ == AddressLayout::RoBaCoBgXor && bank_bits_ > group_bits_) {
-        bank_in_group ^= row & low_mask(bank_bits_ - group_bits_);
-      }
-      a.bank = static_cast<std::uint32_t>(group + (bank_in_group << group_bits_));
-      a.column = static_cast<std::uint32_t>(col);
-      a.row = static_cast<std::uint32_t>(row);
-      break;
-    }
-    case AddressLayout::RoBaCo: {
-      a.column = static_cast<std::uint32_t>(extract_bits(idx, 0, column_bits_));
-      a.bank = static_cast<std::uint32_t>(extract_bits(idx, column_bits_, bank_bits_));
-      a.row = static_cast<std::uint32_t>(idx >> (column_bits_ + bank_bits_));
-      break;
-    }
-    case AddressLayout::RoCoBa: {
-      a.bank = static_cast<std::uint32_t>(extract_bits(idx, 0, bank_bits_));
-      a.column = static_cast<std::uint32_t>(extract_bits(idx, bank_bits_, column_bits_));
-      a.row = static_cast<std::uint32_t>(idx >> (bank_bits_ + column_bits_));
-      break;
-    }
-  }
-  return a;
-}
-
 std::uint64_t AddressDecoder::encode(const Address& addr) const {
   switch (layout_) {
     case AddressLayout::RoBaCoBg:

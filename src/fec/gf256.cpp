@@ -4,42 +4,14 @@
 
 namespace tbi::fec {
 
-const std::array<std::uint8_t, 512>& GF256::exp_table() {
-  static const std::array<std::uint8_t, 512> table = [] {
-    std::array<std::uint8_t, 512> t{};
-    unsigned x = 1;
-    for (unsigned i = 0; i < 255; ++i) {
-      t[i] = static_cast<std::uint8_t>(x);
-      x <<= 1;
-      if (x & 0x100) x ^= kPrimitivePoly;
-    }
-    // Duplicate so (log a + log b) needs no modulo in hot paths that
-    // index directly; mul() still reduces for clarity.
-    for (unsigned i = 255; i < 512; ++i) t[i] = t[i - 255];
-    return t;
-  }();
-  return table;
-}
-
-const std::array<unsigned, 256>& GF256::log_table() {
-  static const std::array<unsigned, 256> table = [] {
-    std::array<unsigned, 256> t{};
-    const auto& e = exp_table();
-    for (unsigned i = 0; i < 255; ++i) t[e[i]] = i;
-    t[0] = 0;  // sentinel, never used by mul (zero short-circuit)
-    return t;
-  }();
-  return table;
-}
-
 std::uint8_t GF256::inv(std::uint8_t a) {
   assert(a != 0 && "GF256: inverse of zero");
-  return exp_table()[255 - log_table()[a]];
+  return kExp[255 - kLog[a]];
 }
 
 unsigned GF256::log_alpha(std::uint8_t a) {
   assert(a != 0 && "GF256: log of zero");
-  return log_table()[a];
+  return kLog[a];
 }
 
 }  // namespace tbi::fec

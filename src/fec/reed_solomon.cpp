@@ -7,9 +7,7 @@ namespace tbi::fec {
 
 namespace {
 
-using Poly = std::vector<std::uint8_t>;  // coefficients, low degree first
-
-std::uint8_t poly_eval(const Poly& p, std::uint8_t x) {
+std::uint8_t poly_eval(std::span<const std::uint8_t> p, std::uint8_t x) {
   std::uint8_t acc = 0;
   for (std::size_t i = p.size(); i-- > 0;) {
     acc = GF256::add(GF256::mul(acc, x), p[i]);
@@ -30,64 +28,99 @@ ReedSolomon::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k) {
   generator_ = {1};
   for (unsigned i = 1; i <= n_ - k_; ++i) {
     const std::uint8_t root = GF256::pow_alpha(i);
-    Poly next(generator_.size() + 1, 0);
+    std::vector<std::uint8_t> next(generator_.size() + 1, 0);
     for (std::size_t d = 0; d < generator_.size(); ++d) {
       next[d] = GF256::add(next[d], GF256::mul(generator_[d], root));
       next[d + 1] = GF256::add(next[d + 1], generator_[d]);
     }
     generator_ = std::move(next);
   }
+
+  // Constant-multiplier tables for the two hot loops. gen_scaled_ is laid
+  // out feedback-major so one encode step reads a single contiguous
+  // parity-sized row.
+  const unsigned p = parity();
+  gen_scaled_.resize(256);
+  for (unsigned f = 0; f < 256; ++f) {
+    for (unsigned d = 0; d < p; ++d) {
+      gen_scaled_[f][d] =
+          GF256::mul(static_cast<std::uint8_t>(f), generator_[d]);
+    }
+  }
+  root_scaled_.resize(p);
+  for (unsigned i = 0; i < p; ++i) {
+    const std::uint8_t x = GF256::pow_alpha(i + 1);
+    for (unsigned a = 0; a < 256; ++a) {
+      root_scaled_[i][a] = GF256::mul(static_cast<std::uint8_t>(a), x);
+    }
+  }
 }
 
-std::vector<std::uint8_t> ReedSolomon::encode(
-    const std::vector<std::uint8_t>& data) const {
-  if (data.size() != k_) throw std::invalid_argument("ReedSolomon::encode: bad size");
-  // Systematic encoding: remainder of data * x^(n-k) divided by g(x).
-  const unsigned p = parity();
-  std::vector<std::uint8_t> remainder(p, 0);
-  for (unsigned i = 0; i < k_; ++i) {
-    const std::uint8_t feedback = GF256::add(data[i], remainder[p - 1]);
-    for (unsigned d = p; d-- > 1;) {
-      remainder[d] = GF256::add(remainder[d - 1], GF256::mul(feedback, generator_[d]));
-    }
-    remainder[0] = GF256::mul(feedback, generator_[0]);
+void ReedSolomon::encode(std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t> word) const {
+  if (data.size() != k_ || word.size() != n_) {
+    throw std::invalid_argument("ReedSolomon::encode: bad size");
   }
-  std::vector<std::uint8_t> word(data);
+  // Systematic encoding: remainder of data * x^(n-k) divided by g(x),
+  // with every feedback product coming from one precomputed table row.
+  const unsigned p = parity();
+  std::array<std::uint8_t, 256> remainder{};
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = static_cast<std::uint8_t>(data[i] ^ remainder[p - 1]);
+    const std::uint8_t* row = gen_scaled_[feedback].data();
+    for (unsigned d = p; d-- > 1;) {
+      remainder[d] = static_cast<std::uint8_t>(remainder[d - 1] ^ row[d]);
+    }
+    remainder[0] = row[0];
+  }
+  if (word.data() != data.data()) {
+    std::copy(data.begin(), data.end(), word.begin());
+  }
   // Parity appended high-degree-first so that word[j] is the coefficient
   // of x^(n-1-j) throughout.
-  for (unsigned d = 0; d < p; ++d) word.push_back(remainder[p - 1 - d]);
-  return word;
+  for (unsigned d = 0; d < p; ++d) word[k_ + d] = remainder[p - 1 - d];
 }
 
-std::vector<std::uint8_t> ReedSolomon::syndromes(
-    const std::vector<std::uint8_t>& word) const {
-  // word[j] is the coefficient of x^(n-1-j); S_i = r(alpha^i).
-  std::vector<std::uint8_t> s(parity());
-  for (unsigned i = 1; i <= parity(); ++i) {
-    const std::uint8_t x = GF256::pow_alpha(i);
-    std::uint8_t acc = 0;
-    for (unsigned j = 0; j < n_; ++j) acc = GF256::add(GF256::mul(acc, x), word[j]);
-    s[i - 1] = acc;
+bool ReedSolomon::syndromes(std::span<const std::uint8_t> word,
+                            std::span<std::uint8_t> out) const {
+  // word[j] is the coefficient of x^(n-1-j); S_i = r(alpha^i), evaluated
+  // by Horner with one constant-multiplier table per root. The symbol
+  // loop is outermost so the per-root accumulator chains stay
+  // independent (ILP) and each symbol is loaded once.
+  const unsigned p = parity();
+  std::array<std::uint8_t, 256> acc{};
+  for (unsigned j = 0; j < n_; ++j) {
+    const std::uint8_t w = word[j];
+    for (unsigned i = 0; i < p; ++i) {
+      acc[i] = static_cast<std::uint8_t>(root_scaled_[i][acc[i]] ^ w);
+    }
   }
-  return s;
+  std::uint8_t any = 0;
+  for (unsigned i = 0; i < p; ++i) {
+    out[i] = acc[i];
+    any |= acc[i];
+  }
+  return any == 0;
 }
 
-bool ReedSolomon::is_codeword(const std::vector<std::uint8_t>& word) const {
+bool ReedSolomon::is_codeword(std::span<const std::uint8_t> word) const {
   if (word.size() != n_) return false;
-  const auto s = syndromes(word);
-  return std::all_of(s.begin(), s.end(), [](std::uint8_t v) { return v == 0; });
+  std::array<std::uint8_t, 256> synd;
+  return syndromes(word, std::span<std::uint8_t>(synd.data(), parity()));
 }
 
-RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
+RsDecodeResult ReedSolomon::decode(std::span<std::uint8_t> word,
+                                   RsScratch& scratch) const {
   if (word.size() != n_) throw std::invalid_argument("ReedSolomon::decode: bad size");
-  const auto synd = syndromes(word);
-  if (std::all_of(synd.begin(), synd.end(), [](std::uint8_t v) { return v == 0; })) {
-    return {true, 0};
-  }
+  scratch.synd.resize(parity());
+  if (syndromes(word, scratch.synd)) return {true, 0};
+  const auto& synd = scratch.synd;
 
   // Berlekamp-Massey: error locator sigma(x), low degree first.
-  Poly sigma{1};
-  Poly prev{1};
+  auto& sigma = scratch.sigma;
+  auto& prev = scratch.prev;
+  sigma.assign(1, 1);
+  prev.assign(1, 1);
   unsigned L = 0;
   unsigned m = 1;
   std::uint8_t b = 1;
@@ -101,14 +134,14 @@ RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
       continue;
     }
     if (2 * L <= iter) {
-      const Poly tmp = sigma;
+      scratch.tmp = sigma;
       const std::uint8_t scale = GF256::div(delta, b);
       if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
       for (std::size_t i = 0; i < prev.size(); ++i) {
         sigma[i + m] = GF256::add(sigma[i + m], GF256::mul(scale, prev[i]));
       }
       L = iter + 1 - L;
-      prev = tmp;
+      prev = scratch.tmp;
       b = delta;
       m = 1;
     } else {
@@ -127,7 +160,8 @@ RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
   // Chien search over code-word positions. Position j (coefficient of
   // x^(n-1-j)) has locator X = alpha^(n-1-j); it is an error location iff
   // sigma(X^{-1}) == 0.
-  std::vector<unsigned> error_positions;
+  auto& error_positions = scratch.positions;
+  error_positions.clear();
   for (unsigned j = 0; j < n_; ++j) {
     const unsigned power = n_ - 1 - j;
     const std::uint8_t x_inv = GF256::pow_alpha(255 - (power % 255));
@@ -136,14 +170,16 @@ RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
   if (error_positions.size() != errors) return {false, 0};
 
   // Forney: error evaluator omega(x) = [S(x) * sigma(x)] mod x^(n-k).
-  Poly omega(parity(), 0);
+  auto& omega = scratch.omega;
+  omega.assign(parity(), 0);
   for (unsigned i = 0; i < parity(); ++i) {
     for (std::size_t d = 0; d < sigma.size() && d <= i; ++d) {
       omega[i] = GF256::add(omega[i], GF256::mul(synd[i - d], sigma[d]));
     }
   }
   // sigma'(x): formal derivative (odd-degree coefficients).
-  Poly sigma_deriv;
+  auto& sigma_deriv = scratch.deriv;
+  sigma_deriv.clear();
   for (std::size_t d = 1; d < sigma.size(); d += 2) {
     sigma_deriv.resize(d, 0);
     sigma_deriv[d - 1] = sigma[d];
@@ -163,6 +199,19 @@ RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
 
   if (!is_codeword(word)) return {false, 0};
   return {true, static_cast<unsigned>(error_positions.size())};
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  std::vector<std::uint8_t> word(n_);
+  encode(std::span<const std::uint8_t>(data),
+         std::span<std::uint8_t>(word));
+  return word;
+}
+
+RsDecodeResult ReedSolomon::decode(std::vector<std::uint8_t>& word) const {
+  RsScratch scratch;
+  return decode(std::span<std::uint8_t>(word), scratch);
 }
 
 }  // namespace tbi::fec

@@ -9,10 +9,21 @@
 ///
 /// Decoder: syndromes -> Berlekamp-Massey -> Chien search -> Forney,
 /// correcting up to t = (n-k)/2 symbol errors per code word.
+///
+/// Hot-path design: the constructor precomputes one 256-entry
+/// constant-multiplier table per generator coefficient (encode) and per
+/// syndrome root (Horner evaluation), so the two inner loops that
+/// dominate an FER sweep are pure xor + table lookups with no log/exp
+/// arithmetic. The span overloads of encode()/decode() write into
+/// caller-owned buffers and an RsScratch workspace, so a steady-state
+/// pipeline performs zero heap allocations per code word; the vector
+/// overloads remain as convenience wrappers with identical results.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fec/gf256.hpp"
@@ -22,6 +33,19 @@ namespace tbi::fec {
 struct RsDecodeResult {
   bool ok = false;                 ///< true when a valid code word was recovered
   unsigned corrected_symbols = 0;  ///< number of symbol corrections applied
+};
+
+/// Reusable decoder workspace. All vectors grow to their steady-state
+/// size on first use and are reused afterwards; one instance per worker
+/// thread (never shared concurrently).
+struct RsScratch {
+  std::vector<std::uint8_t> synd;       ///< syndromes S_1..S_{n-k}
+  std::vector<std::uint8_t> sigma;      ///< error locator
+  std::vector<std::uint8_t> prev;       ///< BM auxiliary polynomial
+  std::vector<std::uint8_t> tmp;        ///< BM update scratch
+  std::vector<std::uint8_t> omega;      ///< error evaluator
+  std::vector<std::uint8_t> deriv;      ///< sigma' (formal derivative)
+  std::vector<unsigned> positions;      ///< Chien search hits
 };
 
 class ReedSolomon {
@@ -35,22 +59,35 @@ class ReedSolomon {
   unsigned parity() const { return n_ - k_; }
   unsigned t() const { return (n_ - k_) / 2; }
 
-  /// Encode k data symbols into an n-symbol systematic code word
-  /// (data first, parity appended).
-  std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& data) const;
+  /// Encode k data symbols into the n-symbol systematic code word
+  /// \p word (data first, parity appended). word.size() must be n; the
+  /// data may alias word's first k bytes.
+  void encode(std::span<const std::uint8_t> data, std::span<std::uint8_t> word) const;
 
-  /// Decode an n-symbol received word in place.
+  /// Decode an n-symbol received word in place, using \p scratch for all
+  /// intermediate polynomials (no allocations in steady state).
+  RsDecodeResult decode(std::span<std::uint8_t> word, RsScratch& scratch) const;
+
+  /// Convenience wrappers (identical results, allocate per call).
+  std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& data) const;
   RsDecodeResult decode(std::vector<std::uint8_t>& word) const;
 
   /// True iff \p word is a valid code word (all syndromes zero).
-  bool is_codeword(const std::vector<std::uint8_t>& word) const;
+  bool is_codeword(std::span<const std::uint8_t> word) const;
 
  private:
-  std::vector<std::uint8_t> syndromes(const std::vector<std::uint8_t>& word) const;
+  /// Fill \p out (size parity) with syndromes; returns true iff all zero.
+  bool syndromes(std::span<const std::uint8_t> word,
+                 std::span<std::uint8_t> out) const;
 
   unsigned n_;
   unsigned k_;
   std::vector<std::uint8_t> generator_;  ///< generator polynomial, low degree first
+  /// gen_scaled_[f][d] = f * generator_[d]: encode's feedback products,
+  /// feedback-major so one encode step reads one contiguous row.
+  std::vector<std::array<std::uint8_t, 256>> gen_scaled_;
+  /// root_scaled_[i][a] = a * alpha^(i+1): Horner step of syndrome S_{i+1}.
+  std::vector<std::array<std::uint8_t, 256>> root_scaled_;
 };
 
 }  // namespace tbi::fec

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -50,8 +51,18 @@ class TriangularInterleaver {
   std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& in) const;
   std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& in) const;
 
+  /// Allocation-free variants writing into a caller-owned buffer; both
+  /// spans must be capacity() long and must not alias.
+  void interleave_into(std::span<const std::uint8_t> in,
+                       std::span<std::uint8_t> out) const;
+  void deinterleave_into(std::span<const std::uint8_t> in,
+                         std::span<std::uint8_t> out) const;
+
  private:
   std::uint64_t side_;
+  /// row_offset_[i] = tri_row_offset(side_, i): hoists the per-symbol
+  /// offset arithmetic out of the block-permutation inner loops.
+  std::vector<std::uint64_t> row_offset_;
 };
 
 }  // namespace tbi::interleaver

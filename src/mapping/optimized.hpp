@@ -66,6 +66,15 @@ class OptimizedMapping final : public IndexMapping {
   std::uint64_t dx_ = 0;       ///< per-bank shift in x (Tw / NB)
   std::uint64_t dy_ = 0;       ///< per-bank shift in y (Th / NB)
   std::uint32_t rows_ = 0;     ///< rows_per_bank (bounds check)
+
+  /// The paper's claim that every mapping step is an add / shift / mask
+  /// holds whenever NB and CPP are powers of two (all JEDEC geometries).
+  /// The constructor precomputes the shift/mask forms; map() keeps a
+  /// div/mod fallback for exotic geometries.
+  bool pow2_ = false;
+  unsigned bank_shift_ = 0;   ///< log2(NB)
+  unsigned tw_shift_ = 0;     ///< log2(Tw)
+  unsigned th_shift_ = 0;     ///< log2(Th)
 };
 
 }  // namespace tbi::mapping

@@ -1,6 +1,7 @@
 #include "sim/pipeline.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 #include "channel/bsc.hpp"
@@ -8,7 +9,6 @@
 #include "channel/leo.hpp"
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
-#include "fec/reed_solomon.hpp"
 #include "interleaver/block.hpp"
 #include "interleaver/streams.hpp"
 #include "interleaver/triangular.hpp"
@@ -43,16 +43,19 @@ class StreamInterleaver {
     throw std::invalid_argument("pipeline: unknown interleaver '" + kind + "'");
   }
 
-  std::vector<std::uint8_t> forward(const std::vector<std::uint8_t>& in) const {
-    if (tri_) return tri_->interleave(in);
-    if (block_) return block_->interleave(in);
-    return in;
+  /// False for the "none" identity (callers skip the copy entirely).
+  bool active() const { return tri_ != nullptr || block_ != nullptr; }
+
+  void forward_into(std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out) const {
+    if (tri_) return tri_->interleave_into(in, out);
+    block_->interleave_into(in, out);
   }
 
-  std::vector<std::uint8_t> backward(const std::vector<std::uint8_t>& in) const {
-    if (tri_) return tri_->deinterleave(in);
-    if (block_) return block_->deinterleave(in);
-    return in;
+  void backward_into(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const {
+    if (tri_) return tri_->deinterleave_into(in, out);
+    block_->deinterleave_into(in, out);
   }
 
  private:
@@ -60,52 +63,86 @@ class StreamInterleaver {
   std::unique_ptr<interleaver::BlockInterleaver> block_;
 };
 
-/// One triangular block: per-row shortened code words and the packed
-/// transmit stream (row i transmits word symbols i..n-1).
-struct Frame {
-  std::vector<std::vector<std::uint8_t>> row_data;  ///< empty = row carries no word
-  std::vector<std::uint8_t> stream;
+/// Per-run workspace: every buffer the frame loop touches, allocated once
+/// and reused across frames (zero steady-state allocations per frame).
+///
+/// Row i of a triangular block carries one shortened RS(n, k) code word
+/// when its length n - i exceeds the parity, i.e. exactly for
+/// i < side - parity; the trailing `parity` rows are zero padding. The
+/// payload of row i occupies word symbols [i, k) and the transmitted row
+/// is word symbols [i, n), so the payloads are stored back to back in
+/// `data` and located implicitly by accumulating k - i.
+struct FrameWorkspace {
+  std::vector<std::uint8_t> stream;  ///< packed triangle, write order
+  std::vector<std::uint8_t> tx;      ///< interleaved stream on the wire
+  std::vector<std::uint8_t> rx;      ///< deinterleaved received stream
+  std::vector<std::uint8_t> word;    ///< one RS code word (n symbols)
+  std::vector<std::uint8_t> data;    ///< concatenated per-row payloads
+  fec::RsScratch rs_scratch;
+
+  FrameWorkspace(std::uint64_t side, unsigned n, bool interleaved) {
+    const std::uint64_t cap = triangular_number(side);
+    stream.assign(cap, 0);
+    if (interleaved) {
+      tx.resize(cap);
+      rx.resize(cap);
+    }
+    word.resize(n);
+    data.reserve(cap);
+  }
 };
 
-Frame make_frame(const fec::ReedSolomon& rs, std::uint64_t side, Rng& rng) {
+void make_frame(const fec::ReedSolomon& rs, std::uint64_t side, Rng& rng,
+                FrameWorkspace& ws) {
   const unsigned parity = rs.parity();
-  Frame f;
-  f.stream.resize(triangular_number(side));
-  f.row_data.resize(side);
+  const unsigned k = rs.k();
+  const unsigned n = rs.n();
+  ws.data.clear();
+  std::uint8_t* word = ws.word.data();
   std::uint64_t pos = 0;
   for (std::uint64_t i = 0; i < side; ++i) {
     const std::uint64_t len = tri_row_length(side, i);
-    if (len <= parity) {  // too short for a shortened word; padding row
-      pos += len;
-      continue;
+    if (len <= parity) break;  // the remaining rows are all padding
+    // Build the full data word in place: i leading zeros, then the
+    // payload; encode() appends the parity behind the aliased data.
+    std::fill(word, word + i, 0);
+    for (std::uint64_t d = i; d < k; ++d) {
+      word[d] = static_cast<std::uint8_t>(rng.next_u64());
     }
-    std::vector<std::uint8_t> data(len - parity);
-    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
-    f.row_data[i] = data;
-    std::vector<std::uint8_t> full(rs.k(), 0);
-    std::copy(data.begin(), data.end(), full.begin() + static_cast<long>(i));
-    const auto word = rs.encode(full);
-    std::copy(word.begin() + static_cast<long>(i), word.end(),
-              f.stream.begin() + static_cast<long>(pos));
+    ws.data.insert(ws.data.end(), word + i, word + k);
+    rs.encode(std::span<const std::uint8_t>(word, k),
+              std::span<std::uint8_t>(word, n));
+    std::copy(word + i, word + n, ws.stream.begin() + static_cast<long>(pos));
     pos += len;
   }
-  return f;
+  // Trailing padding rows: rewrite the zeros a previous frame's channel
+  // pass may have corrupted.
+  std::fill(ws.stream.begin() + static_cast<long>(pos), ws.stream.end(), 0);
 }
 
-void decode_frame(const fec::ReedSolomon& rs, std::uint64_t side, const Frame& f,
-                  const std::vector<std::uint8_t>& rx, PipelineResult& result) {
+void decode_frame(const fec::ReedSolomon& rs, std::uint64_t side,
+                  const std::vector<std::uint8_t>& rx, FrameWorkspace& ws,
+                  PipelineResult& result) {
+  const unsigned parity = rs.parity();
+  const unsigned n = rs.n();
+  std::uint8_t* word = ws.word.data();
   std::uint64_t failures = 0;
   std::uint64_t pos = 0;
+  std::uint64_t data_pos = 0;
   for (std::uint64_t i = 0; i < side; ++i) {
     const std::uint64_t len = tri_row_length(side, i);
-    if (!f.row_data[i].empty()) {
-      std::vector<std::uint8_t> word(i, 0);
-      word.insert(word.end(), rx.begin() + static_cast<long>(pos),
-                  rx.begin() + static_cast<long>(pos + len));
-      const auto res = rs.decode(word);
+    if (len > parity) {
+      std::fill(word, word + i, 0);
+      std::copy(rx.begin() + static_cast<long>(pos),
+                rx.begin() + static_cast<long>(pos + len), word + i);
+      const auto res =
+          rs.decode(std::span<std::uint8_t>(word, n), ws.rs_scratch);
+      const std::uint64_t dlen = len - parity;
       const bool data_ok =
-          res.ok && std::equal(f.row_data[i].begin(), f.row_data[i].end(),
-                               word.begin() + static_cast<long>(i));
+          res.ok && std::equal(ws.data.begin() + static_cast<long>(data_pos),
+                               ws.data.begin() + static_cast<long>(data_pos + dlen),
+                               word + i);
+      data_pos += dlen;
       ++result.code_words;
       if (data_ok) {
         result.corrected_symbols += res.corrected_symbols;
@@ -151,16 +188,15 @@ std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config) {
   throw std::invalid_argument("pipeline: unknown channel '" + config.channel + "'");
 }
 
-PipelineResult run_pipeline(const PipelineConfig& config) {
-  if (config.rs_n > 255 || config.rs_k == 0 || config.rs_k >= config.rs_n ||
-      (config.rs_n - config.rs_k) % 2 != 0) {
-    throw std::invalid_argument("pipeline: invalid RS(n, k)");
+PipelineResult run_pipeline(const PipelineConfig& config,
+                            const fec::ReedSolomon& rs) {
+  if (rs.n() != config.rs_n || rs.k() != config.rs_k) {
+    throw std::invalid_argument("pipeline: codec does not match config");
   }
   if (config.frames == 0) {
     throw std::invalid_argument("pipeline: frames must be > 0");
   }
 
-  const fec::ReedSolomon rs(config.rs_n, config.rs_k);
   const std::uint64_t side = config.rs_n;
   const StreamInterleaver il(config.interleaver, side);
   const auto ch = make_channel(config);
@@ -171,16 +207,25 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   Rng data_rng(job_seed(config.seed, 0));
   Rng channel_rng(job_seed(config.seed, 1));
 
+  FrameWorkspace ws(side, config.rs_n, il.active());
+
   PipelineResult result;
   result.frames = config.frames;
   for (unsigned f = 0; f < config.frames; ++f) {
-    Frame frame = make_frame(rs, side, data_rng);
-    auto tx = il.forward(frame.stream);
+    make_frame(rs, side, data_rng, ws);
+    // The "none" identity runs the channel directly on the packed stream
+    // — no copies at all.
+    std::vector<std::uint8_t>& wire = il.active() ? ws.tx : ws.stream;
+    if (il.active()) il.forward_into(ws.stream, ws.tx);
     if (ch) {
-      result.channel_symbol_errors += ch->apply(tx, channel_rng);
+      result.channel_symbol_errors += ch->apply(wire, channel_rng);
     }
-    const auto rx = il.backward(tx);
-    decode_frame(rs, side, frame, rx, result);
+    const std::vector<std::uint8_t>* rx = &wire;
+    if (il.active()) {
+      il.backward_into(ws.tx, ws.rx);
+      rx = &ws.rx;
+    }
+    decode_frame(rs, side, *rx, ws, result);
   }
 
   // DRAM stage: only the triangular interleaver is DRAM-resident; the
@@ -203,8 +248,30 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   return result;
 }
 
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  if (config.rs_n > 255 || config.rs_k == 0 || config.rs_k >= config.rs_n ||
+      (config.rs_n - config.rs_k) % 2 != 0) {
+    throw std::invalid_argument("pipeline: invalid RS(n, k)");
+  }
+  const fec::ReedSolomon rs(config.rs_n, config.rs_k);
+  return run_pipeline(config, rs);
+}
+
 std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOptions& options) {
   const auto cells = grid.expand();
+
+  // Hoist codec construction out of the per-cell work: cells share one
+  // immutable ReedSolomon per distinct rs_k (generator polynomial +
+  // multiplier tables), safe for concurrent use by the sweep workers.
+  std::map<unsigned, fec::ReedSolomon> codecs;
+  for (const auto& cell : cells) {
+    if (options.base.rs_n > 255 || cell.rs_k == 0 || cell.rs_k >= options.base.rs_n ||
+        (options.base.rs_n - cell.rs_k) % 2 != 0) {
+      throw std::invalid_argument("run_fer_sweep: invalid RS(n, k)");
+    }
+    codecs.try_emplace(cell.rs_k, options.base.rs_n, cell.rs_k);
+  }
+
   return sweep_map(cells.size(), options.sweep,
                    [&](std::uint64_t index, std::uint64_t seed) {
     const Scenario& scenario = cells[index];
@@ -224,7 +291,7 @@ std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOption
       }
       record.config.device = *device;
     }
-    record.result = run_pipeline(record.config);
+    record.result = run_pipeline(record.config, codecs.at(scenario.rs_k));
     return record;
   });
 }

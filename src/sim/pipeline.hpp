@@ -19,6 +19,7 @@
 
 #include "channel/channel.hpp"
 #include "dram/standards.hpp"
+#include "fec/reed_solomon.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
 
@@ -78,6 +79,12 @@ std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config);
 /// Simulate \p config.frames triangular blocks end to end and, when
 /// configured, the DRAM phases of the triangular interleaver.
 PipelineResult run_pipeline(const PipelineConfig& config);
+
+/// As above, but with a caller-provided codec (rs.n()/rs.k() must match
+/// the config). Lets sweeps hoist the generator-polynomial and
+/// multiplier-table construction out of the per-cell work; the codec is
+/// immutable after construction and safe to share across threads.
+PipelineResult run_pipeline(const PipelineConfig& config, const fec::ReedSolomon& rs);
 
 // ---------------------------------------------------------------------------
 // FER sweeps on the scenario grid
