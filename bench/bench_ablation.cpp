@@ -10,10 +10,12 @@
 ///   full        : + bank-dependent column offset staggers those misses
 ///
 /// Usage: bench_ablation [--device NAME] [--symbols N] [--max-bursts M]
-///                       [--threads T]
+///                       [--json FILE] [--threads T]
+#include <chrono>
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "sim/experiments.hpp"
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_option("device", "name", "single device (default: three fast grades)");
   cli.add_option("symbols", "count", "interleaver symbols (default 12.5M)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
+  cli.add_option("json", "file", "write config + wall time + rows as JSON");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
@@ -47,6 +50,8 @@ int main(int argc, char** argv) {
     devices = {"DDR4-3200", "LPDDR4-4266", "LPDDR5-8533"};
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array device_docs;
   for (const auto& name : devices) {
     const auto* device = tbi::dram::find_config(name);
     if (device == nullptr) {
@@ -56,14 +61,42 @@ int main(int argc, char** argv) {
     const auto rows = tbi::sim::run_ablation(*device, symbols, max_bursts, threads);
     tbi::TextTable t("Optimization ablation on " + name);
     t.set_header({"Mapping Variant", "Write", "Read", "Min"});
+    tbi::Json device_doc;
+    device_doc["device"] = name;
+    tbi::Json::Array out_rows;
     for (const auto& r : rows) {
       t.add_row({r.variant, tbi::TextTable::pct(r.write),
                  tbi::TextTable::pct(r.read), tbi::TextTable::pct(r.min())});
+      tbi::Json row;
+      row["variant"] = r.variant;
+      row["write"] = r.write;
+      row["read"] = r.read;
+      row["min"] = r.min();
+      out_rows.push_back(row);
     }
+    device_doc["rows"] = out_rows;
+    device_docs.push_back(device_doc);
     std::fputs(cli.has("markdown") ? t.render_markdown().c_str()
                                    : t.render().c_str(),
                stdout);
     std::puts("");
+  }
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_ablation";
+    tbi::Json config;
+    config["symbols"] = symbols;
+    config["max_bursts"] = max_bursts;
+    config["threads"] = static_cast<std::uint64_t>(threads);
+    doc["config"] = config;
+    doc["wall_seconds"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    doc["devices"] = device_docs;
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
+      return 1;
+    }
   }
   return 0;
 }

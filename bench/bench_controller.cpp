@@ -9,7 +9,6 @@
 ///                         [--json FILE]
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -145,12 +144,9 @@ int main(int argc, char** argv) {
     doc["queue_depth_sweep"] = queue_rows;
     doc["policies"] = policy_rows;
     doc["layouts"] = layout_rows;
-    std::ofstream out(cli.get("json", ""));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }
-    out << doc.dump(2) << '\n';
   }
   return 0;
 }

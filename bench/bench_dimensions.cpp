@@ -4,11 +4,14 @@
 /// the interleaver size over two orders of magnitude on every device and
 /// reports the throughput-limiting utilization of both mappings.
 ///
-/// Usage: bench_dimensions [--device NAME] [--markdown] [--threads T]
+/// Usage: bench_dimensions [--device NAME] [--json FILE] [--markdown]
+///                         [--threads T]
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "sim/experiments.hpp"
@@ -16,6 +19,7 @@
 int main(int argc, char** argv) {
   tbi::CliParser cli("bench_dimensions", "interleaver size sweep (paper §III)");
   cli.add_option("device", "name", "single device (default: all ten)");
+  cli.add_option("json", "file", "write config + wall time + rows as JSON");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   if (!cli.parse(argc, argv)) {
@@ -39,19 +43,49 @@ int main(int argc, char** argv) {
   }
   t.set_header(header);
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array device_docs;
   for (const auto& device : tbi::dram::standard_configs()) {
     if (cli.has("device") && device.name != cli.get("device", "")) continue;
     const auto rows = tbi::sim::run_dimension_sweep(
         device, sizes, static_cast<unsigned>(cli.get_int("threads", 0)));
     std::vector<std::string> rm = {device.name, "row-major"};
     std::vector<std::string> opt = {"", "optimized"};
+    tbi::Json device_doc;
+    device_doc["device"] = device.name;
+    tbi::Json::Array out_rows;
     for (const auto& r : rows) {
       rm.push_back(tbi::TextTable::pct(r.row_major_min));
       opt.push_back(tbi::TextTable::pct(r.optimized_min));
+      tbi::Json row;
+      row["total_symbols"] = r.total_symbols;
+      row["side_bursts"] = r.side_bursts;
+      row["row_major_min"] = r.row_major_min;
+      row["optimized_min"] = r.optimized_min;
+      out_rows.push_back(row);
     }
+    device_doc["rows"] = out_rows;
+    device_docs.push_back(device_doc);
     t.add_row(rm);
     t.add_row(opt);
   }
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_dimensions";
+    tbi::Json config;
+    config["device"] = cli.get("device", "");
+    config["threads"] = static_cast<std::uint64_t>(cli.get_int("threads", 0));
+    doc["config"] = config;
+    doc["wall_seconds"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    doc["devices"] = device_docs;
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
+      return 1;
+    }
+  }
+
   std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
              stdout);
   std::puts(

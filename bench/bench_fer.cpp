@@ -10,12 +10,17 @@
 /// Runs on the parallel sweep engine with deterministic per-cell seeding:
 /// the records are identical for any --threads value.
 ///
+/// The interleaver axis includes the paper's headline "two-stage" scheme
+/// (§II): those cells run the streaming frame path at the burst-granular
+/// stage-2 side (--side, in bursts) with --spb symbols per DRAM burst, so
+/// their frames are spb x larger than the RS-255 triangle of the classic
+/// rows.
+///
 /// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
-///                  [--fade-prob P] [--burst-symbols B] [--markdown]
-///                  [--progress] [--json FILE]
+///                  [--fade-prob P] [--burst-symbols B] [--side S] [--spb B]
+///                  [--markdown] [--progress] [--json FILE]
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
   cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.004)");
   cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
+  cli.add_option("side", "s", "interleaver side (0 = RS-255 triangle; bursts for two-stage)");
+  cli.add_option("spb", "b", "two-stage symbols per DRAM burst (default 64)");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("progress", "", "print sweep progress to stderr");
   cli.add_option("json", "file", "write config + wall time + records as JSON");
@@ -51,7 +58,7 @@ int main(int argc, char** argv) {
 
   tbi::sim::SweepGrid grid;
   grid.devices = {device};
-  grid.interleavers = {"none", "block", "triangular"};
+  grid.interleavers = {"none", "block", "triangular", "two-stage"};
   grid.channels = {"bsc", "gilbert-elliott", "leo"};
   grid.rs_ks = {239, 223, 191};
 
@@ -71,6 +78,8 @@ int main(int argc, char** argv) {
   options.base.mean_burst_symbols = cli.get_double("burst-symbols", 300);
   options.base.error_probability = 2e-3;
   options.base.error_rate_bad = 0.95;
+  options.base.side = static_cast<std::uint64_t>(cli.get_int("side", 0));
+  options.base.symbols_per_burst = static_cast<std::uint64_t>(cli.get_int("spb", 64));
 
   std::vector<tbi::sim::FerRecord> records;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
     config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
     config["fade_prob"] = options.base.fade_fraction;
     config["burst_symbols"] = options.base.mean_burst_symbols;
+    config["side"] = options.base.side;
+    config["spb"] = options.base.symbols_per_burst;
     doc["config"] = config;
     doc["wall_seconds"] = wall_seconds;
     doc["scenarios_per_second"] =
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
       row["interleaver"] = r.scenario.interleaver;
       row["channel"] = r.scenario.channel;
       row["rs_k"] = static_cast<std::uint64_t>(r.scenario.rs_k);
+      row["frame_symbols"] = r.result.frame_symbols;
       row["code_words"] = r.result.code_words;
       row["word_errors"] = r.result.word_errors;
       row["frame_errors"] = r.result.frame_errors;
@@ -117,12 +129,9 @@ int main(int argc, char** argv) {
       rows.push_back(row);
     }
     doc["records"] = rows;
-    std::ofstream out(cli.get("json", ""));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }
-    out << doc.dump(2) << '\n';
   }
 
   tbi::TextTable t("End-to-end FER on " + device + " (" +
@@ -147,6 +156,10 @@ int main(int argc, char** argv) {
   std::puts(
       "\nExpected shape: the memoryless bsc rows are interleaver-neutral;\n"
       "on the bursty channels the triangular interleaver turns frame losses\n"
-      "into corrected words at the same channel error count.");
+      "into corrected words at the same channel error count. The two-stage\n"
+      "rows stream spb x larger burst-granular frames (paper §II): at the\n"
+      "paper's code rates (RS(255,223) and stronger) they hold the classic\n"
+      "rows' protection despite seeing spb x more fades per frame, while\n"
+      "the weakest code shows the residual cost of burst granularity.");
   return 0;
 }

@@ -12,12 +12,14 @@
 /// engine; --threads shards it over the machine.
 ///
 /// Usage: bench_table1 [--symbols N] [--max-bursts M] [--csv FILE]
-///                     [--markdown] [--check] [--threads T]
+///                     [--json FILE] [--markdown] [--check] [--threads T]
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "sim/experiments.hpp"
 
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   cli.add_option("symbols", "count", "interleaver symbols (default 12.5M)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("csv", "file", "also write results as CSV");
+  cli.add_option("json", "file", "write config + wall time + rows as JSON");
   cli.add_option("markdown", "", "print GitHub markdown instead of ASCII");
   cli.add_option("check", "", "validate all command streams with the JEDEC checker");
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
@@ -45,7 +48,40 @@ int main(int argc, char** argv) {
   options.check_protocol = cli.has("check");
   options.threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto rows = tbi::sim::run_table1(options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_table1";
+    tbi::Json config;
+    config["symbols"] = options.total_symbols;
+    config["max_bursts"] = options.max_bursts_per_phase;
+    config["threads"] = static_cast<std::uint64_t>(options.threads);
+    config["check"] = options.check_protocol;
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    tbi::Json::Array out_rows;
+    for (const auto& r : rows) {
+      tbi::Json row;
+      row["config"] = r.config;
+      row["row_major_write"] = r.row_major_write;
+      row["row_major_read"] = r.row_major_read;
+      row["optimized_write"] = r.optimized_write;
+      row["optimized_read"] = r.optimized_read;
+      row["row_major_min"] = std::min(r.row_major_write, r.row_major_read);
+      row["optimized_min"] = std::min(r.optimized_write, r.optimized_read);
+      out_rows.push_back(row);
+    }
+    doc["rows"] = out_rows;
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
+      return 1;
+    }
+  }
+
   const auto table = tbi::sim::format_table1(
       rows, "Table I: DRAM bandwidth utilizations (12.5M-element triangular interleaver)");
   std::fputs(cli.has("markdown") ? table.render_markdown().c_str()

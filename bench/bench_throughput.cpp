@@ -11,7 +11,6 @@
 ///                         [--threads T] [--json FILE]
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
@@ -106,12 +105,9 @@ int main(int argc, char** argv) {
     doc["simulated_bursts"] = total_bursts;
     doc["bursts_per_second"] =
         wall_seconds > 0 ? static_cast<double>(total_bursts) / wall_seconds : 0.0;
-    std::ofstream out(cli.get("json", ""));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", cli.get("json", "").c_str());
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }
-    out << doc.dump(2) << '\n';
   }
   return 0;
 }

@@ -78,19 +78,26 @@ double LeoFadingChannel::next_gaussian(Rng& rng) {
 std::uint64_t LeoFadingChannel::apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
   std::uint64_t corrupted = 0;
   const double sigma = std::sqrt(1.0 - rho_ * rho_);
-  for (std::size_t base = 0; base < symbols.size();
-       base += params_.symbols_per_sample) {
-    state_ = rho_ * state_ + sigma * next_gaussian(rng);
-    const bool faded = state_ < threshold_;
-    if (!faded) continue;
-    const std::size_t end =
-        std::min(symbols.size(), base + params_.symbols_per_sample);
-    for (std::size_t k = base; k < end; ++k) {
-      if (rng.bernoulli(params_.fade_depth_error_rate)) {
-        corrupt_symbol(symbols[k], params_.symbol_bits, rng);
-        ++corrupted;
+  std::size_t k = 0;
+  while (k < symbols.size()) {
+    if (sample_phase_ == 0) {
+      state_ = rho_ * state_ + sigma * next_gaussian(rng);
+      faded_ = state_ < threshold_;
+    }
+    const std::size_t take = std::min(
+        symbols.size() - k,
+        static_cast<std::size_t>(params_.symbols_per_sample - sample_phase_));
+    if (faded_) {
+      for (std::size_t i = k; i < k + take; ++i) {
+        if (rng.bernoulli(params_.fade_depth_error_rate)) {
+          corrupt_symbol(symbols[i], params_.symbol_bits, rng);
+          ++corrupted;
+        }
       }
     }
+    sample_phase_ = static_cast<unsigned>(
+        (sample_phase_ + take) % params_.symbols_per_sample);
+    k += take;
   }
   return corrupted;
 }

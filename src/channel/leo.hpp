@@ -45,6 +45,13 @@ class LeoFadingChannel final : public Channel {
   double rho_;
   double threshold_;
   double state_ = 0.0;
+  bool faded_ = false;
+  /// Symbols already consumed of the current power sample. Carrying the
+  /// phase across apply() calls makes the fading process continuous in
+  /// symbol time, so splitting a stream into chunks of any size yields
+  /// the identical corruption pattern (the streaming pipeline relies on
+  /// this).
+  unsigned sample_phase_ = 0;
   bool has_spare_ = false;
   double spare_ = 0.0;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace tbi {
 
@@ -343,6 +344,16 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_impl(out, indent, 0);
   return out;
+}
+
+bool Json::write_file(const std::string& path, const Json& doc, int indent) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << doc.dump(indent) << '\n';
+  return out.good();
 }
 
 }  // namespace tbi

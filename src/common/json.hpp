@@ -75,6 +75,11 @@ class Json {
   /// Serialize; \p indent > 0 pretty-prints with that many spaces.
   std::string dump(int indent = 0) const;
 
+  /// Pretty-print \p doc (plus trailing newline) to \p path — the shared
+  /// sink of every bench's --json option. Returns false after printing a
+  /// cannot-write error to stderr when the file cannot be opened.
+  static bool write_file(const std::string& path, const Json& doc, int indent = 2);
+
  private:
   void dump_impl(std::string& out, int indent, int depth) const;
 

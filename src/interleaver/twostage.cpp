@@ -34,6 +34,25 @@ std::uint64_t TwoStageInterleaver::permute(std::uint64_t k) const {
   return stage2_.permute(burst) * spb_ + offset;
 }
 
+std::uint64_t TwoStageInterleaver::inverse(std::uint64_t q) const {
+  if (q >= capacity_symbols()) throw std::out_of_range("TwoStageInterleaver::inverse");
+  const std::uint64_t sb_symbols = spb_ * spb_;
+  const std::uint64_t full_super_blocks = capacity_bursts() / spb_;
+
+  // Undo stage 2 first: the triangular permutation of whole bursts is an
+  // involution, so applying it again recovers the intermediate burst.
+  const std::uint64_t burst = stage2_.permute(q / spb_);
+  const std::uint64_t m = burst * spb_ + q % spb_;
+
+  // Undo stage 1: the square transpose inside a full super-block (the
+  // partial tail was passed through unpermuted).
+  const std::uint64_t sb = m / sb_symbols;
+  if (sb < full_super_blocks) {
+    return sb * sb_symbols + stage1_.inverse(m % sb_symbols);
+  }
+  return m;
+}
+
 std::vector<std::uint8_t> TwoStageInterleaver::interleave(
     const std::vector<std::uint8_t>& in) const {
   if (in.size() != capacity_symbols()) {

@@ -35,6 +35,13 @@ class TwoStageInterleaver {
   /// End-to-end output position of input symbol \p k.
   std::uint64_t permute(std::uint64_t k) const;
 
+  /// Inverse of permute(): input position of output symbol \p q. Both
+  /// stages are involutions (square transpose, triangular permutation),
+  /// but their composition is not, so the inverse applies them in reverse
+  /// order. O(1), so a streaming consumer can map sparse channel events
+  /// back to code-word positions without materializing the frame.
+  std::uint64_t inverse(std::uint64_t q) const;
+
   std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& in) const;
   std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& in) const;
 

@@ -12,24 +12,35 @@
 #include "interleaver/block.hpp"
 #include "interleaver/streams.hpp"
 #include "interleaver/triangular.hpp"
+#include "interleaver/twostage.hpp"
 
 namespace tbi::sim {
 
 namespace {
 
 constexpr unsigned kChannelSymbolBits = 8;  // RS symbols are bytes
+constexpr std::uint64_t kDefaultChunkSymbols = 65536;
+
+bool dram_resident(const std::string& kind) {
+  return kind == "triangular" || kind == "two-stage";
+}
 
 /// Stream permutation for the pipeline's interleaver axis. The block
 /// variant reshapes the packed triangle into an exact rows x cols
-/// rectangle (classic SRAM interleaver) as the non-triangular baseline.
+/// rectangle (classic SRAM interleaver) as the non-triangular baseline;
+/// the two-stage variant is the paper's SRAM-block-into-DRAM-triangle
+/// composition and is only ever driven through index math (streaming).
 class StreamInterleaver {
  public:
-  StreamInterleaver(const std::string& kind, std::uint64_t side) {
+  StreamInterleaver(const std::string& kind, std::uint64_t side,
+                    std::uint64_t symbols_per_burst) {
     if (kind == "none") {
+      capacity_ = triangular_number(side);
       return;
     }
     if (kind == "triangular") {
       tri_ = std::make_unique<interleaver::TriangularInterleaver>(side);
+      capacity_ = tri_->capacity();
       return;
     }
     if (kind == "block") {
@@ -38,13 +49,32 @@ class StreamInterleaver {
       const std::uint64_t rows = (side % 2 == 1) ? side : side + 1;
       block_ = std::make_unique<interleaver::BlockInterleaver>(
           rows, triangular_number(side) / rows);
+      capacity_ = block_->capacity();
+      return;
+    }
+    if (kind == "two-stage") {
+      two_ = std::make_unique<interleaver::TwoStageInterleaver>(side,
+                                                                symbols_per_burst);
+      capacity_ = two_->capacity_symbols();
       return;
     }
     throw std::invalid_argument("pipeline: unknown interleaver '" + kind + "'");
   }
 
   /// False for the "none" identity (callers skip the copy entirely).
-  bool active() const { return tri_ != nullptr || block_ != nullptr; }
+  bool active() const { return tri_ != nullptr || block_ != nullptr || two_ != nullptr; }
+
+  /// Frame size in symbols.
+  std::uint64_t capacity_symbols() const { return capacity_; }
+
+  /// Input (code-word stream) position of the symbol at wire position
+  /// \p p — the inverse permutation, O(1) for every kind.
+  std::uint64_t wire_to_input(std::uint64_t p) const {
+    if (tri_) return tri_->permute(p);  // involution: inverse == forward
+    if (block_) return block_->inverse(p);
+    if (two_) return two_->inverse(p);
+    return p;
+  }
 
   void forward_into(std::span<const std::uint8_t> in,
                     std::span<std::uint8_t> out) const {
@@ -61,34 +91,77 @@ class StreamInterleaver {
  private:
   std::unique_ptr<interleaver::TriangularInterleaver> tri_;
   std::unique_ptr<interleaver::BlockInterleaver> block_;
+  std::unique_ptr<interleaver::TwoStageInterleaver> two_;
+  std::uint64_t capacity_ = 0;
+};
+
+/// One sparse channel corruption, already mapped back from wire order to
+/// the input (code-word stream) position.
+struct ErrorHit {
+  std::uint64_t input_index;
+  std::uint8_t flip;
 };
 
 /// Per-run workspace: every buffer the frame loop touches, allocated once
 /// and reused across frames (zero steady-state allocations per frame).
 ///
-/// Row i of a triangular block carries one shortened RS(n, k) code word
-/// when its length n - i exceeds the parity, i.e. exactly for
-/// i < side - parity; the trailing `parity` rows are zero padding. The
-/// payload of row i occupies word symbols [i, k) and the transmitted row
-/// is word symbols [i, n), so the payloads are stored back to back in
-/// `data` and located implicitly by accumulating k - i.
+/// The materialized (row-aligned) path uses stream/tx/rx sized to the
+/// triangle capacity. The streaming path never allocates
+/// capacity-proportional buffers: it uses the chunk buffer plus the
+/// sparse per-frame error list. Both share the code-word buffers and the
+/// decoder scratch.
+///
+/// Row-aligned framing: row i of a triangular block carries one shortened
+/// RS(n, k) code word when its length n - i exceeds the parity, i.e.
+/// exactly for i < side - parity; the trailing `parity` rows are zero
+/// padding. The payload of row i occupies word symbols [i, k) and the
+/// transmitted row is word symbols [i, n), so the payloads are stored
+/// back to back in `data` and located implicitly by accumulating k - i.
 struct FrameWorkspace {
   std::vector<std::uint8_t> stream;  ///< packed triangle, write order
   std::vector<std::uint8_t> tx;      ///< interleaved stream on the wire
   std::vector<std::uint8_t> rx;      ///< deinterleaved received stream
   std::vector<std::uint8_t> word;    ///< one RS code word (n symbols)
   std::vector<std::uint8_t> data;    ///< concatenated per-row payloads
+  std::vector<std::uint8_t> chunk;   ///< streaming: one wire chunk
+  std::vector<ErrorHit> hits;        ///< streaming: per-frame corruption
   fec::RsScratch rs_scratch;
 
-  FrameWorkspace(std::uint64_t side, unsigned n, bool interleaved) {
+  static FrameWorkspace materialized(std::uint64_t side, unsigned n,
+                                     bool interleaved) {
+    FrameWorkspace ws;
     const std::uint64_t cap = triangular_number(side);
-    stream.assign(cap, 0);
+    ws.stream.assign(cap, 0);
     if (interleaved) {
-      tx.resize(cap);
-      rx.resize(cap);
+      ws.tx.resize(cap);
+      ws.rx.resize(cap);
     }
-    word.resize(n);
-    data.reserve(cap);
+    ws.word.resize(n);
+    ws.data.reserve(cap);
+    return ws;
+  }
+
+  static FrameWorkspace streaming(unsigned n, unsigned k,
+                                  std::uint64_t chunk_symbols) {
+    FrameWorkspace ws;
+    ws.word.resize(n);
+    ws.data.resize(k);
+    ws.chunk.reserve(chunk_symbols);
+    return ws;
+  }
+
+  /// Bytes currently held across all buffers (capacities, so reserve
+  /// growth is charged) — the instrumented counter the streaming memory
+  /// test bounds against the chunk size.
+  std::uint64_t allocated_bytes() const {
+    const auto scratch_bytes = [](const fec::RsScratch& s) {
+      return s.synd.capacity() + s.sigma.capacity() + s.prev.capacity() +
+             s.tmp.capacity() + s.omega.capacity() + s.deriv.capacity() +
+             s.positions.capacity() * sizeof(unsigned);
+    };
+    return stream.capacity() + tx.capacity() + rx.capacity() + word.capacity() +
+           data.capacity() + chunk.capacity() + hits.capacity() * sizeof(ErrorHit) +
+           scratch_bytes(rs_scratch);
   }
 };
 
@@ -156,6 +229,130 @@ void decode_frame(const fec::ReedSolomon& rs, std::uint64_t side,
   result.frame_errors += failures != 0;
 }
 
+/// Legacy row-aligned path: side == rs_n, frames materialized and
+/// permuted buffer-to-buffer.
+void run_frames_materialized(const PipelineConfig& config,
+                             const fec::ReedSolomon& rs,
+                             const StreamInterleaver& il, std::uint64_t side,
+                             channel::Channel* ch, PipelineResult& result) {
+  // Decoupled deterministic streams: the channel draws do not depend on
+  // how much entropy the data generation consumed, so two configs that
+  // differ only in the interleaver see the same fade pattern.
+  Rng data_rng(job_seed(config.seed, 0));
+  Rng channel_rng(job_seed(config.seed, 1));
+
+  FrameWorkspace ws = FrameWorkspace::materialized(side, config.rs_n, il.active());
+
+  for (unsigned f = 0; f < config.frames; ++f) {
+    make_frame(rs, side, data_rng, ws);
+    // The "none" identity runs the channel directly on the packed stream
+    // — no copies at all.
+    std::vector<std::uint8_t>& wire = il.active() ? ws.tx : ws.stream;
+    if (il.active()) il.forward_into(ws.stream, ws.tx);
+    if (ch) {
+      result.channel_symbol_errors += ch->apply(wire, channel_rng);
+    }
+    const std::vector<std::uint8_t>* rx = &wire;
+    if (il.active()) {
+      il.backward_into(ws.tx, ws.rx);
+      rx = &ws.rx;
+    }
+    decode_frame(rs, side, *rx, ws, result);
+  }
+  result.workspace_peak_bytes = ws.allocated_bytes();
+}
+
+/// Streaming path: frame size decoupled from the code word, bounded
+/// memory. Full RS(n, k) words are packed back to back into the
+/// interleaver capacity (a sub-word tail stays zero padding).
+///
+/// The trick that avoids materializing the frame: every Channel corrupts
+/// a symbol by XORing a guaranteed non-zero flip, and its RNG draws do
+/// not depend on the symbol values. Running the channel over a *zeroed*
+/// chunk buffer in wire order therefore yields exactly the corruption
+/// pattern — position and flip — of the real transmission. Each hit is
+/// mapped back to its input position through the interleaver's O(1)
+/// inverse; words with no hits decode trivially and are only counted,
+/// words with hits are regenerated from their per-word seed, re-encoded,
+/// corrupted and decoded for real.
+void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& rs,
+                          const StreamInterleaver& il, channel::Channel* ch,
+                          PipelineResult& result) {
+  const unsigned n = rs.n();
+  const unsigned k = rs.k();
+  const std::uint64_t capacity = il.capacity_symbols();
+  const std::uint64_t words_per_frame = capacity / n;
+  const std::uint64_t chunk_symbols = config.stream_chunk_symbols != 0
+                                          ? config.stream_chunk_symbols
+                                          : kDefaultChunkSymbols;
+
+  const std::uint64_t data_root = job_seed(config.seed, 0);
+  Rng channel_rng(job_seed(config.seed, 1));
+  Rng word_rng;
+
+  FrameWorkspace ws = FrameWorkspace::streaming(n, k, chunk_symbols);
+  std::uint8_t* word = ws.word.data();
+
+  for (unsigned f = 0; f < config.frames; ++f) {
+    // --- channel pass, wire order, bounded chunks --------------------------
+    ws.hits.clear();
+    if (ch != nullptr) {
+      for (std::uint64_t pos = 0; pos < capacity; pos += chunk_symbols) {
+        const std::uint64_t len = std::min(chunk_symbols, capacity - pos);
+        ws.chunk.assign(len, 0);
+        result.channel_symbol_errors += ch->apply(ws.chunk, channel_rng);
+        for (std::uint64_t i = 0; i < len; ++i) {
+          if (ws.chunk[i] != 0) {
+            ws.hits.push_back({il.wire_to_input(pos + i), ws.chunk[i]});
+          }
+        }
+      }
+      std::sort(ws.hits.begin(), ws.hits.end(),
+                [](const ErrorHit& a, const ErrorHit& b) {
+                  return a.input_index < b.input_index;
+                });
+    }
+
+    // --- decode: only words the channel actually touched do work -----------
+    result.code_words += words_per_frame;
+    const std::uint64_t frame_seed = job_seed(data_root, f);
+    std::uint64_t failures = 0;
+    std::size_t h = 0;
+    while (h < ws.hits.size()) {
+      const std::uint64_t w = ws.hits[h].input_index / n;
+      std::size_t h_end = h + 1;
+      while (h_end < ws.hits.size() && ws.hits[h_end].input_index / n == w) {
+        ++h_end;
+      }
+      if (w >= words_per_frame) break;  // hits in the zero-padding tail
+
+      // Regenerate the transmitted word from its per-word seed.
+      word_rng.reseed(job_seed(frame_seed, w));
+      for (unsigned d = 0; d < k; ++d) {
+        word[d] = static_cast<std::uint8_t>(word_rng.next_u64());
+      }
+      std::copy(word, word + k, ws.data.begin());
+      rs.encode(std::span<const std::uint8_t>(word, k),
+                std::span<std::uint8_t>(word, n));
+      for (std::size_t i = h; i < h_end; ++i) {
+        word[ws.hits[i].input_index - w * n] ^= ws.hits[i].flip;
+      }
+      const auto res = rs.decode(std::span<std::uint8_t>(word, n), ws.rs_scratch);
+      const bool data_ok =
+          res.ok && std::equal(ws.data.begin(), ws.data.end(), word);
+      if (data_ok) {
+        result.corrected_symbols += res.corrected_symbols;
+      } else {
+        ++failures;
+      }
+      h = h_end;
+    }
+    result.word_errors += failures;
+    result.frame_errors += failures != 0;
+  }
+  result.workspace_peak_bytes = ws.allocated_bytes();
+}
+
 }  // namespace
 
 std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config) {
@@ -197,48 +394,52 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     throw std::invalid_argument("pipeline: frames must be > 0");
   }
 
-  const std::uint64_t side = config.rs_n;
-  const StreamInterleaver il(config.interleaver, side);
+  const std::uint64_t side = config.side != 0 ? config.side : config.rs_n;
+  const StreamInterleaver il(config.interleaver, side, config.symbols_per_burst);
   const auto ch = make_channel(config);
-
-  // Decoupled deterministic streams: the channel draws do not depend on
-  // how much entropy the data generation consumed, so two configs that
-  // differ only in the interleaver see the same fade pattern.
-  Rng data_rng(job_seed(config.seed, 0));
-  Rng channel_rng(job_seed(config.seed, 1));
-
-  FrameWorkspace ws(side, config.rs_n, il.active());
 
   PipelineResult result;
   result.frames = config.frames;
-  for (unsigned f = 0; f < config.frames; ++f) {
-    make_frame(rs, side, data_rng, ws);
-    // The "none" identity runs the channel directly on the packed stream
-    // — no copies at all.
-    std::vector<std::uint8_t>& wire = il.active() ? ws.tx : ws.stream;
-    if (il.active()) il.forward_into(ws.stream, ws.tx);
-    if (ch) {
-      result.channel_symbol_errors += ch->apply(wire, channel_rng);
+  result.frame_symbols = il.capacity_symbols();
+
+  // Two-stage frames are always streamed (the stage-2 triangle is
+  // burst-granular, there is no row-aligned layout for it); the classic
+  // kinds stream exactly when the side is decoupled from the code word.
+  if (config.interleaver == "two-stage" || side != config.rs_n) {
+    if (il.capacity_symbols() < config.rs_n) {
+      throw std::invalid_argument(
+          "pipeline: side too small for one RS code word");
     }
-    const std::vector<std::uint8_t>* rx = &wire;
-    if (il.active()) {
-      il.backward_into(ws.tx, ws.rx);
-      rx = &ws.rx;
-    }
-    decode_frame(rs, side, *rx, ws, result);
+    run_frames_streaming(config, rs, il, ch.get(), result);
+  } else {
+    run_frames_materialized(config, rs, il, side, ch.get(), result);
   }
 
-  // DRAM stage: only the triangular interleaver is DRAM-resident; the
-  // block baseline is the SRAM stage-1 structure and "none" buffers nothing.
-  if (config.run_dram && config.interleaver == "triangular") {
+  // DRAM stage: honored for every DRAM-resident interleaver. "block" is
+  // the SRAM stage-1 structure and "none" buffers nothing, so asking for
+  // their DRAM phases is a configuration error, not a silent no-op.
+  if (config.run_dram) {
+    if (!dram_resident(config.interleaver)) {
+      throw std::invalid_argument(
+          "pipeline: run_dram requires a DRAM-resident interleaver "
+          "('triangular' or 'two-stage'); '" +
+          config.interleaver +
+          "' never touches DRAM — set run_dram = false for it");
+    }
     if (config.device.name.empty()) {
       throw std::invalid_argument("pipeline: run_dram requires a device");
     }
     RunConfig rc;
     rc.device = config.device;
     rc.mapping_spec = config.mapping_spec;
-    rc.side = interleaver::burst_triangle_side(
-        triangular_number(side), kChannelSymbolBits, config.device.burst_bytes);
+    // The two-stage geometry is already burst-granular: its stage-2 side
+    // *is* the burst triangle. A symbol-level triangular frame is packed
+    // into bursts of the device's burst size first.
+    rc.side = config.interleaver == "two-stage"
+                  ? side
+                  : interleaver::burst_triangle_side(triangular_number(side),
+                                                     kChannelSymbolBits,
+                                                     config.device.burst_bytes);
     rc.max_bursts_per_phase = config.dram_max_bursts_per_phase;
     rc.check_protocol = config.check_protocol;
     result.dram = run_interleaver(rc);
@@ -282,6 +483,13 @@ std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOption
     record.config.channel = scenario.channel;
     record.config.rs_k = scenario.rs_k;
     record.config.mapping_spec = scenario.mapping_spec;
+    if (scenario.symbols_per_burst != 0) {
+      record.config.symbols_per_burst = scenario.symbols_per_burst;
+    }
+    // The DRAM stage only exists for DRAM-resident interleavers; narrow
+    // the template's run_dram so mixed grids stay valid.
+    record.config.run_dram =
+        options.base.run_dram && dram_resident(scenario.interleaver);
     record.config.seed = seed;
     if (!scenario.device.empty()) {
       const auto* device = dram::find_config(scenario.device);

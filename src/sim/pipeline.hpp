@@ -6,10 +6,23 @@
 /// run yields both the coding gain of the interleaver *and* the memory
 /// bandwidth it needs.
 ///
-/// Framing follows the two-stage scheme: one shortened RS(n, k) code word
-/// per triangle row (row i carries word symbols i..n-1, the leading i
-/// zeros are implicit), so a long channel fade lands as a few symbols per
-/// code word once the triangular permutation spreads it.
+/// Two frame layouts share the entry points:
+///
+/// * **Row-aligned** (side == rs_n, the legacy geometry): one shortened
+///   RS(n, k) code word per triangle row (row i carries word symbols
+///   i..n-1, the leading i zeros are implicit). Frames are materialized
+///   and permuted buffer-to-buffer.
+/// * **Streaming** (side != rs_n, or the "two-stage" interleaver): frame
+///   size is decoupled from the code word — full RS(n, k) words are
+///   packed back to back into the interleaver's symbol capacity, and the
+///   frame is never materialized. The channel walks the wire order in
+///   bounded chunks; because every Channel corrupts symbols with
+///   data-independent draws (guaranteed non-zero XOR flips), the sparse
+///   corruption events are recovered from a zeroed chunk buffer and
+///   mapped back to code-word positions through the interleaver's O(1)
+///   inverse permutation. Peak memory is bounded by the chunk size plus
+///   the per-frame error count — never by the triangle capacity — which
+///   is what makes the paper's 12.5 M-symbol frames simulable.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +40,28 @@ namespace tbi::sim {
 
 struct PipelineConfig {
   // --- data path -----------------------------------------------------------
-  std::string interleaver = "triangular";  ///< "none" | "triangular" | "block"
+  std::string interleaver = "triangular";  ///< "none" | "triangular" | "block" | "two-stage"
   std::string channel = "gilbert-elliott"; ///< "none" | "bsc" | "gilbert-elliott" | "leo"
   unsigned rs_n = 255;                     ///< code word length (symbols)
   unsigned rs_k = 223;                     ///< data symbols per code word
   unsigned frames = 20;                    ///< triangular blocks to simulate
   std::uint64_t seed = 1;                  ///< root seed (data + channel)
+
+  // --- interleaver geometry ------------------------------------------------
+  /// Triangle side, decoupled from rs_n (0 = rs_n, the legacy row-aligned
+  /// geometry). For "none"/"block"/"triangular" the side counts *symbols*
+  /// (frame = side*(side+1)/2 symbols); for "two-stage" it counts the
+  /// stage-2 *bursts* (frame = side*(side+1)/2 * symbols_per_burst
+  /// symbols). Any side != rs_n selects the streaming frame path.
+  std::uint64_t side = 0;
+  /// Symbols packed into one DRAM burst ("two-stage" only): the stage-1
+  /// SRAM block interleaver is symbols_per_burst x symbols_per_burst.
+  /// The default matches a 64-byte DRAM burst of byte symbols; the
+  /// paper's 3-bit-symbol geometry corresponds to 170.
+  std::uint64_t symbols_per_burst = 64;
+  /// Streaming path: wire symbols processed per channel chunk (bounds the
+  /// peak allocation; 0 = the 65536 default).
+  std::uint64_t stream_chunk_symbols = 65536;
 
   // --- channel knobs -------------------------------------------------------
   double error_probability = 1e-3;  ///< bsc: per-symbol error probability
@@ -41,8 +70,12 @@ struct PipelineConfig {
                                     ///< leo: coherence length in symbols
   double error_rate_bad = 0.5;      ///< symbol error rate inside a fade
 
-  // --- DRAM stage (triangular interleaver only) ----------------------------
-  bool run_dram = true;             ///< execute write/read phases on the controller
+  // --- DRAM stage (DRAM-resident interleavers: triangular, two-stage) ------
+  /// Execute the interleaver's write/read phases on the simulated memory
+  /// controller. Honored for every DRAM-resident interleaver
+  /// ("triangular", "two-stage"); requesting it for the SRAM/identity
+  /// baselines ("none", "block") is a configuration error.
+  bool run_dram = true;
   dram::DeviceConfig device;        ///< required when run_dram is set
   std::string mapping_spec = "optimized";
   std::uint64_t dram_max_bursts_per_phase = 20000;  ///< 0 = full triangle
@@ -56,6 +89,12 @@ struct PipelineResult {
   std::uint64_t frame_errors = 0;           ///< frames with >= 1 word error
   std::uint64_t channel_symbol_errors = 0;  ///< symbols the channel corrupted
   std::uint64_t corrected_symbols = 0;      ///< RS corrections on good decodes
+  std::uint64_t frame_symbols = 0;          ///< interleaver symbol capacity per frame
+  /// Peak bytes held by the reusable frame workspace over the whole run
+  /// (all buffer capacities, including the decoder scratch and the
+  /// streaming error list). The streaming-path memory test asserts this
+  /// stays bounded by the chunk size, not the triangle capacity.
+  std::uint64_t workspace_peak_bytes = 0;
 
   double word_error_rate() const {
     return code_words ? static_cast<double>(word_errors) / static_cast<double>(code_words)
@@ -77,7 +116,8 @@ struct PipelineResult {
 std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config);
 
 /// Simulate \p config.frames triangular blocks end to end and, when
-/// configured, the DRAM phases of the triangular interleaver.
+/// configured, the DRAM phases of the DRAM-resident interleaver
+/// ("triangular" or "two-stage").
 PipelineResult run_pipeline(const PipelineConfig& config);
 
 /// As above, but with a caller-provided codec (rs.n()/rs.k() must match
@@ -93,8 +133,9 @@ PipelineResult run_pipeline(const PipelineConfig& config, const fec::ReedSolomon
 struct FerSweepOptions {
   SweepOptions sweep;
   /// Template for every cell; device / mapping_spec / interleaver /
-  /// channel / rs_k are overridden per scenario, and the seed is replaced
-  /// by the deterministic per-job seed.
+  /// channel / rs_k / symbols_per_burst are overridden per scenario, the
+  /// seed is replaced by the deterministic per-job seed, and run_dram is
+  /// narrowed to the cells whose interleaver is DRAM-resident.
   PipelineConfig base;
 };
 

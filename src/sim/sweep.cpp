@@ -107,6 +107,7 @@ void ThreadPool::worker_loop() {
 std::string Scenario::label() const {
   std::string s = device + "/" + mapping_spec;
   if (interleaver != "triangular") s += "/" + interleaver;
+  if (symbols_per_burst != 0) s += "/spb" + std::to_string(symbols_per_burst);
   if (channel != "none") s += "/" + channel + "/RS(255," + std::to_string(rs_k) + ")";
   return s;
 }
@@ -122,7 +123,8 @@ SweepGrid SweepGrid::paper_bandwidth_grid() {
 
 std::uint64_t SweepGrid::size() const {
   return static_cast<std::uint64_t>(devices.size()) * mapping_specs.size() *
-         interleavers.size() * channels.size() * rs_ks.size();
+         interleavers.size() * channels.size() * rs_ks.size() *
+         symbols_per_bursts.size();
 }
 
 std::vector<Scenario> SweepGrid::expand() const {
@@ -133,13 +135,16 @@ std::vector<Scenario> SweepGrid::expand() const {
       for (const auto& il : interleavers) {
         for (const auto& ch : channels) {
           for (const unsigned k : rs_ks) {
-            Scenario s;
-            s.device = device;
-            s.mapping_spec = mapping;
-            s.interleaver = il;
-            s.channel = ch;
-            s.rs_k = k;
-            cells.push_back(std::move(s));
+            for (const std::uint64_t spb : symbols_per_bursts) {
+              Scenario s;
+              s.device = device;
+              s.mapping_spec = mapping;
+              s.interleaver = il;
+              s.channel = ch;
+              s.rs_k = k;
+              s.symbols_per_burst = spb;
+              cells.push_back(std::move(s));
+            }
           }
         }
       }

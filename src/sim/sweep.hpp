@@ -117,22 +117,28 @@ auto sweep_map(std::uint64_t count, const SweepOptions& options, Fn&& fn)
 struct Scenario {
   std::string device;                    ///< dram::find_config name
   std::string mapping_spec = "optimized";
-  std::string interleaver = "triangular";  ///< "none" | "triangular" | "block"
+  std::string interleaver = "triangular";  ///< "none" | "triangular" | "block" | "two-stage"
   std::string channel = "none";            ///< "none" | "bsc" | "gilbert-elliott" | "leo"
   unsigned rs_k = 223;                     ///< RS(255, k) data symbols
+  /// Symbols per DRAM burst for "two-stage" cells; 0 = keep the sweep
+  /// template's value (the axis is off).
+  std::uint64_t symbols_per_burst = 0;
 
   std::string label() const;
 };
 
 /// Cartesian scenario grid; expand() enumerates cells in row-major axis
-/// order (devices outermost, rs_ks innermost) — the job-index order that
-/// deterministic seeding keys on.
+/// order (devices outermost, symbols_per_bursts innermost) — the
+/// job-index order that deterministic seeding keys on.
 struct SweepGrid {
   std::vector<std::string> devices;
   std::vector<std::string> mapping_specs = {"optimized"};
   std::vector<std::string> interleavers = {"triangular"};
   std::vector<std::string> channels = {"none"};
   std::vector<unsigned> rs_ks = {223};
+  /// Innermost axis; the {0} default keeps existing grids' cell order and
+  /// per-index seeds unchanged (0 = inherit the sweep template's value).
+  std::vector<std::uint64_t> symbols_per_bursts = {0};
 
   /// All ten Table-I devices, both paper mappings.
   static SweepGrid paper_bandwidth_grid();

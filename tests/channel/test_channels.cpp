@@ -145,6 +145,42 @@ TEST(Leo, CoherenceProducesLongFades) {
   }
 }
 
+TEST(Leo, SplitApplyMatchesWholeStream) {
+  // The power process is continuous in symbol time: applying the channel
+  // to a stream in arbitrary pieces must yield the identical corruption
+  // pattern as one call (the streaming pipeline chunks the wire order
+  // and relies on this).
+  LeoChannelParams p;
+  p.fade_probability = 0.1;
+  p.fade_depth_error_rate = 0.8;
+  p.symbols_per_sample = 300;  // deliberately no divisor relationship
+  p.coherence_time_s = 2e-7;
+  constexpr std::size_t kTotal = 200'000;
+
+  LeoFadingChannel whole(p);
+  Rng rng_whole(9);
+  std::vector<std::uint8_t> data_whole(kTotal, 0);
+  const auto errors_whole = whole.apply(data_whole, rng_whole);
+
+  LeoFadingChannel split(p);
+  Rng rng_split(9);
+  std::vector<std::uint8_t> data_split;
+  std::uint64_t errors_split = 0;
+  Rng chunk_rng(3);
+  for (std::size_t pos = 0; pos < kTotal;) {
+    const std::size_t len =
+        std::min(kTotal - pos, static_cast<std::size_t>(1 + chunk_rng.uniform(7777)));
+    std::vector<std::uint8_t> chunk(len, 0);
+    errors_split += split.apply(chunk, rng_split);
+    data_split.insert(data_split.end(), chunk.begin(), chunk.end());
+    pos += len;
+  }
+
+  EXPECT_GT(errors_whole, 0u);
+  EXPECT_EQ(errors_whole, errors_split);
+  EXPECT_EQ(data_whole, data_split);
+}
+
 TEST(Leo, RejectsBadParams) {
   LeoChannelParams p;
   p.fade_probability = 0.0;

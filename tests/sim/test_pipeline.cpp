@@ -125,7 +125,10 @@ TEST(Pipeline, DramStageReportsFeasibility) {
   EXPECT_EQ(r.dram.device_name, "DDR4-3200");
 }
 
-TEST(Pipeline, NoDramStageForSramInterleavers) {
+TEST(Pipeline, DramStageRejectsSramInterleavers) {
+  // "none" buffers nothing and "block" is the SRAM stage-1 structure:
+  // asking for their DRAM phases is a configuration error, not a silent
+  // no-op.
   for (const char* il : {"none", "block"}) {
     PipelineConfig c;
     c.interleaver = il;
@@ -133,9 +136,46 @@ TEST(Pipeline, NoDramStageForSramInterleavers) {
     c.frames = 1;
     c.run_dram = true;
     c.device = *dram::find_config("DDR4-3200");
-    const auto r = run_pipeline(c);
-    EXPECT_FALSE(r.dram_ran) << il;
+    EXPECT_THROW(run_pipeline(c), std::invalid_argument) << il;
   }
+}
+
+TEST(Pipeline, TwoStageGoldenDramCounters) {
+  // Golden DDR4-3200 counters for a small two-stage run: the stage-2
+  // triangle is burst-granular, so both phases move exactly T(side)
+  // bursts, and the optimized mapping keeps the row hits near-perfect.
+  PipelineConfig c;
+  c.interleaver = "two-stage";
+  c.side = 32;
+  c.symbols_per_burst = 8;
+  c.channel = "none";
+  c.frames = 1;
+  c.run_dram = true;
+  c.device = *dram::find_config("DDR4-3200");
+  c.dram_max_bursts_per_phase = 0;  // full (small) burst triangle
+  c.check_protocol = true;
+  const auto r = run_pipeline(c);
+
+  EXPECT_EQ(r.frame_symbols, 528u * 8u);
+  EXPECT_EQ(r.code_words, 16u);  // floor(4224 / 255) full words per frame
+  EXPECT_EQ(r.word_errors, 0u);
+
+  ASSERT_TRUE(r.dram_ran);
+  EXPECT_EQ(r.dram.device_name, "DDR4-3200");
+  const auto& w = r.dram.write.stats;
+  const auto& rd = r.dram.read.stats;
+  EXPECT_EQ(w.bursts, 528u);
+  EXPECT_EQ(rd.bursts, 528u);
+  EXPECT_EQ(w.activates, 16u);
+  EXPECT_EQ(w.row_hits, 512u);
+  EXPECT_EQ(w.row_misses, 16u);
+  EXPECT_EQ(w.row_conflicts, 0u);
+  EXPECT_EQ(rd.activates, 0u);  // rows stay open across the phase switch
+  EXPECT_EQ(rd.row_hits, 528u);
+  EXPECT_EQ(w.elapsed(), 1322500u);
+  EXPECT_EQ(rd.elapsed(), 1322500u);
+  EXPECT_NEAR(r.dram.min_utilization(), 0.998110, 1e-6);
+  EXPECT_GT(r.dram_throughput_gbps, 0.0);
 }
 
 TEST(Pipeline, RejectsBadConfigs) {
@@ -154,6 +194,13 @@ TEST(Pipeline, RejectsBadConfigs) {
     c.channel = "none";
     c.frames = 1;
   });
+  expect_invalid([](PipelineConfig& c) {
+    c.interleaver = "two-stage";
+    c.symbols_per_burst = 0;
+  });
+  expect_invalid([](PipelineConfig& c) {
+    c.side = 10;  // T(10) = 55 < one RS(255, k) code word
+  });
 }
 
 TEST(Pipeline, CodeRateAxisChangesCorrectionPower) {
@@ -166,6 +213,176 @@ TEST(Pipeline, CodeRateAxisChangesCorrectionPower) {
   const auto strong_r = run_pipeline(strong);
   EXPECT_GT(weak_r.word_errors, 0u);
   EXPECT_EQ(strong_r.word_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming frame path (side decoupled from rs_n, "two-stage")
+// ---------------------------------------------------------------------------
+
+TEST(PipelineStreaming, CleanChannelEveryKind) {
+  // Streaming frames pack full RS words back to back; a clean channel
+  // must decode every one of them without touching the error machinery.
+  for (const char* il : {"none", "block", "triangular", "two-stage"}) {
+    PipelineConfig c;
+    c.interleaver = il;
+    c.side = 40;  // != rs_n -> streaming for every kind
+    c.symbols_per_burst = 8;
+    c.channel = "none";
+    c.frames = 3;
+    c.run_dram = false;
+    const auto r = run_pipeline(c);
+    const std::uint64_t capacity =
+        std::string(il) == "two-stage" ? 820u * 8u : 820u;
+    EXPECT_EQ(r.frame_symbols, capacity) << il;
+    EXPECT_EQ(r.code_words, 3u * (capacity / 255u)) << il;
+    EXPECT_EQ(r.word_errors, 0u) << il;
+    EXPECT_EQ(r.frame_errors, 0u) << il;
+    EXPECT_EQ(r.channel_symbol_errors, 0u) << il;
+  }
+}
+
+TEST(PipelineStreaming, TriangularStreamingRecoversBursts) {
+  // Streaming analogue of the legacy recovery test at a side far past
+  // rs_n. Channel corruption is data-independent, so the "none" and
+  // "triangular" systems see the *identical* corruption pattern and only
+  // the interleaving differs.
+  PipelineConfig c;
+  c.channel = "gilbert-elliott";
+  c.side = 600;
+  c.fade_fraction = 0.004;
+  c.mean_burst_symbols = 300;
+  c.error_rate_bad = 0.95;
+  c.frames = 10;
+  c.seed = 1;
+  c.run_dram = false;
+
+  c.interleaver = "none";
+  const auto direct = run_pipeline(c);
+  c.interleaver = "triangular";
+  const auto interleaved = run_pipeline(c);
+
+  EXPECT_EQ(direct.channel_symbol_errors, interleaved.channel_symbol_errors);
+  EXPECT_GT(direct.frame_errors, 0u);
+  EXPECT_EQ(interleaved.word_errors, 0u);
+  EXPECT_EQ(interleaved.frame_errors, 0u);
+  EXPECT_GT(interleaved.corrected_symbols, 0u);
+}
+
+TEST(PipelineStreaming, ChunkSizeNeverChangesResults) {
+  // stream_chunk_symbols is a pure memory knob: every channel evolves
+  // its state continuously in symbol time (the LEO power process carries
+  // its sample phase across calls), so chunk boundaries are invisible to
+  // the corruption pattern.
+  for (const char* channel : {"bsc", "gilbert-elliott", "leo"}) {
+    PipelineConfig c;
+    c.interleaver = "two-stage";
+    c.side = 64;
+    c.symbols_per_burst = 16;
+    c.channel = channel;
+    c.error_probability = 0.01;
+    c.fade_fraction = 0.05;
+    c.mean_burst_symbols = 700;  // not a divisor of any chunk size
+    c.frames = 3;
+    c.run_dram = false;
+    c.stream_chunk_symbols = 1024;
+    const auto small_chunks = run_pipeline(c);
+    c.stream_chunk_symbols = 1 << 20;
+    const auto one_chunk = run_pipeline(c);
+    EXPECT_GT(small_chunks.channel_symbol_errors, 0u) << channel;
+    EXPECT_EQ(small_chunks.channel_symbol_errors, one_chunk.channel_symbol_errors)
+        << channel;
+    EXPECT_EQ(small_chunks.word_errors, one_chunk.word_errors) << channel;
+    EXPECT_EQ(small_chunks.corrected_symbols, one_chunk.corrected_symbols)
+        << channel;
+  }
+}
+
+TEST(PipelineStreaming, PaperScaleTwoStageBoundedMemory) {
+  // Acceptance scale: a >= 5000-burst-side two-stage pipeline (25 M
+  // symbols per frame) completes, and the instrumented workspace peak is
+  // bounded by the chunk size plus the sparse error list — never by the
+  // triangle capacity.
+  PipelineConfig c;
+  c.interleaver = "two-stage";
+  c.side = 5000;
+  c.symbols_per_burst = 2;
+  c.channel = "gilbert-elliott";
+  c.fade_fraction = 0.001;
+  c.mean_burst_symbols = 2000;
+  c.error_rate_bad = 0.8;
+  c.frames = 1;
+  c.run_dram = false;
+  const auto r = run_pipeline(c);
+
+  EXPECT_EQ(r.frame_symbols, 12'502'500u * 2u);
+  EXPECT_EQ(r.code_words, 25'005'000u / 255u);
+  EXPECT_GT(r.channel_symbol_errors, 1000u);
+  // The paper-scale two-stage frame swallows these fades completely.
+  // (corrected can trail the channel count only by hits landing in the
+  // sub-word zero-padding tail: capacity % 255 == 210 symbols.)
+  EXPECT_EQ(r.word_errors, 0u);
+  EXPECT_LE(r.corrected_symbols, r.channel_symbol_errors);
+  EXPECT_LE(r.channel_symbol_errors - r.corrected_symbols, 210u);
+
+  // Peak allocation: one chunk buffer + the sorted error list (16 B per
+  // hit, vector growth <= 2x) + small constant scratch. A materialized
+  // frame would need >= 3 capacity-sized buffers.
+  const std::uint64_t chunk_bytes = c.stream_chunk_symbols;
+  EXPECT_GT(r.workspace_peak_bytes, 0u);
+  EXPECT_LE(r.workspace_peak_bytes,
+            chunk_bytes + 32u * r.channel_symbol_errors + 16384u);
+  EXPECT_LT(r.workspace_peak_bytes, r.frame_symbols / 8);
+}
+
+TEST(PipelineStreaming, FerOrdersTwoStageTriangularBlockNone) {
+  // Fixed-seed statistical assertion (paper §I/§II): under long
+  // Gilbert-Elliott fades that saturate inside the fade, the frame error
+  // rates order two-stage <= triangular <= block <= none.
+  //
+  // Geometry: the classic systems run the row-aligned RS-255 triangle;
+  // the two-stage system runs its natural burst-granular scale (side 255
+  // bursts of one code word each, 8.3 M symbols per frame — 255x the
+  // data per frame, which only strengthens the assertion). With
+  // symbols_per_burst == rs_n, one stage-1 chunk is exactly one code
+  // word, so a fully faded DRAM burst costs every word of its super-block
+  // one symbol, and a word only dies when >= t+1 faded bursts land in
+  // one super-block — a fade longer than anything this channel produces.
+  const auto run = [](const char* il, unsigned frames) {
+    PipelineConfig c;
+    c.interleaver = il;
+    c.channel = "gilbert-elliott";
+    c.fade_fraction = 0.01;
+    c.mean_burst_symbols = 1500;
+    c.error_rate_bad = 1.0;
+    c.frames = frames;
+    c.seed = 1;
+    c.run_dram = false;
+    c.side = 255;
+    c.symbols_per_burst = 255;
+    return run_pipeline(c);
+  };
+  const auto none = run("none", 300);
+  const auto block = run("block", 300);
+  const auto tri = run("triangular", 300);
+  const auto two_stage = run("two-stage", 6);
+
+  // Every system was genuinely stressed.
+  EXPECT_GT(none.word_errors, 0u);
+  EXPECT_GT(block.word_errors, 0u);
+  EXPECT_GT(tri.word_errors, 0u);
+  EXPECT_GT(two_stage.channel_symbol_errors, 100'000u);
+
+  const double f_none = none.frame_error_rate();
+  const double f_block = block.frame_error_rate();
+  const double f_tri = tri.frame_error_rate();
+  const double f_two = two_stage.frame_error_rate();
+  EXPECT_LE(f_two, f_tri);
+  EXPECT_LE(f_tri, f_block);
+  EXPECT_LE(f_block, f_none);
+  // The interesting joints are strict at this seed, with wide margins.
+  EXPECT_EQ(two_stage.word_errors, 0u);
+  EXPECT_LT(f_tri, f_block);
+  EXPECT_LT(2.0 * f_block, f_none);
 }
 
 TEST(FerSweep, GridRecordsMatchScenarios) {
@@ -187,14 +404,19 @@ TEST(FerSweep, GridRecordsMatchScenarios) {
 }
 
 TEST(FerSweep, DeterministicAcrossThreadCounts) {
+  // Covers the full interleaver axis including "two-stage" and the
+  // symbols_per_burst axis: records must be identical for any thread
+  // count.
   SweepGrid grid;
   grid.devices = {"DDR4-3200"};
-  grid.interleavers = {"none", "triangular", "block"};
+  grid.interleavers = {"none", "triangular", "block", "two-stage"};
   grid.channels = {"bsc", "gilbert-elliott", "leo"};
   grid.rs_ks = {223, 239};
+  grid.symbols_per_bursts = {4, 8};
   FerSweepOptions o;
   o.base.frames = 2;
   o.base.run_dram = false;
+  o.base.side = 64;  // streaming path for every cell, small frames
   o.base.fade_fraction = 0.01;
   o.base.mean_burst_symbols = 200;
   o.sweep.base_seed = 5;
@@ -203,7 +425,7 @@ TEST(FerSweep, DeterministicAcrossThreadCounts) {
   const auto serial = run_fer_sweep(grid, o);
   o.sweep.threads = 4;
   const auto parallel = run_fer_sweep(grid, o);
-  ASSERT_EQ(serial.size(), 18u);
+  ASSERT_EQ(serial.size(), 48u);
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].config.seed, parallel[i].config.seed) << i;
@@ -213,7 +435,49 @@ TEST(FerSweep, DeterministicAcrossThreadCounts) {
               parallel[i].result.channel_symbol_errors) << i;
     EXPECT_EQ(serial[i].result.corrected_symbols,
               parallel[i].result.corrected_symbols) << i;
+    EXPECT_EQ(serial[i].result.frame_symbols, parallel[i].result.frame_symbols) << i;
   }
+}
+
+TEST(FerSweep, SymbolsPerBurstAxisReachesTwoStageCells) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  grid.interleavers = {"two-stage"};
+  grid.channels = {"gilbert-elliott"};
+  grid.symbols_per_bursts = {4, 8};
+  FerSweepOptions o;
+  o.base.frames = 2;
+  o.base.run_dram = false;
+  o.base.side = 64;
+  const auto records = run_fer_sweep(grid, o);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].config.symbols_per_burst, 4u);
+  EXPECT_EQ(records[1].config.symbols_per_burst, 8u);
+  EXPECT_EQ(records[0].result.frame_symbols, 2080u * 4u);
+  EXPECT_EQ(records[1].result.frame_symbols, 2080u * 8u);
+  EXPECT_NE(records[0].scenario.label(), records[1].scenario.label());
+}
+
+TEST(FerSweep, RunDramNarrowedToDramResidentCells) {
+  // A mixed grid with run_dram set in the template must not trip the
+  // SRAM-interleaver error: the sweep narrows run_dram per cell.
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  grid.interleavers = {"none", "block", "triangular", "two-stage"};
+  grid.channels = {"none"};
+  FerSweepOptions o;
+  o.base.frames = 1;
+  o.base.run_dram = true;
+  o.base.side = 64;
+  o.base.symbols_per_burst = 8;
+  o.base.dram_max_bursts_per_phase = 500;
+  const auto records = run_fer_sweep(grid, o);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[0].result.dram_ran);  // none
+  EXPECT_FALSE(records[1].result.dram_ran);  // block
+  EXPECT_TRUE(records[2].result.dram_ran);   // triangular
+  EXPECT_TRUE(records[3].result.dram_ran);   // two-stage
+  EXPECT_GT(records[3].result.dram.write.stats.bursts, 0u);
 }
 
 TEST(MakeChannel, FactoryCoversAllKinds) {
