@@ -18,6 +18,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "perf/counters.hpp"
 #include "sim/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
       row["write"] = r.write;
       row["read"] = r.read;
       row["min"] = r.min();
+      row["sched_ns_per_pick"] = r.ns_per_pick;
       out_rows.push_back(row);
     }
     device_doc["rows"] = out_rows;
@@ -94,6 +96,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();
     doc["devices"] = device_docs;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

@@ -15,6 +15,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "perf/counters.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -78,6 +79,9 @@ int main(int argc, char** argv) {
       row["queue_depth"] = static_cast<std::uint64_t>(q);
       row["row_major_min_utilization"] = rm.min_utilization();
       row["optimized_min_utilization"] = opt.min_utilization();
+      row["bursts"] = rm.total_bursts() + opt.total_bursts();
+      row["row_major_sched_ns_per_pick"] = rm.sched_ns_per_pick();
+      row["optimized_sched_ns_per_pick"] = opt.sched_ns_per_pick();
       queue_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
@@ -99,6 +103,9 @@ int main(int argc, char** argv) {
       row["policy"] = name;
       row["row_major_min_utilization"] = rm.min_utilization();
       row["optimized_min_utilization"] = opt.min_utilization();
+      row["bursts"] = rm.total_bursts() + opt.total_bursts();
+      row["row_major_sched_ns_per_pick"] = rm.sched_ns_per_pick();
+      row["optimized_sched_ns_per_pick"] = opt.sched_ns_per_pick();
       policy_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
@@ -122,6 +129,8 @@ int main(int argc, char** argv) {
       row["write_utilization"] = run.write.stats.utilization();
       row["read_utilization"] = run.read.stats.utilization();
       row["min_utilization"] = run.min_utilization();
+      row["bursts"] = run.total_bursts();
+      row["sched_ns_per_pick"] = run.sched_ns_per_pick();
       layout_rows.push_back(row);
     }
     std::fputs(md ? t.render_markdown().c_str() : t.render().c_str(), stdout);
@@ -144,6 +153,9 @@ int main(int argc, char** argv) {
     doc["queue_depth_sweep"] = queue_rows;
     doc["policies"] = policy_rows;
     doc["layouts"] = layout_rows;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

@@ -14,6 +14,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "perf/counters.hpp"
 #include "sim/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
       row["side_bursts"] = r.side_bursts;
       row["row_major_min"] = r.row_major_min;
       row["optimized_min"] = r.optimized_min;
+      row["row_major_sched_ns_per_pick"] = r.row_major_ns_per_pick;
+      row["optimized_sched_ns_per_pick"] = r.optimized_ns_per_pick;
       out_rows.push_back(row);
     }
     device_doc["rows"] = out_rows;
@@ -81,6 +84,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();
     doc["devices"] = device_docs;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

@@ -26,6 +26,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "perf/counters.hpp"
 #include "sim/pipeline.hpp"
 
 int main(int argc, char** argv) {
@@ -123,12 +124,27 @@ int main(int argc, char** argv) {
       row["corrected_symbols"] = r.result.corrected_symbols;
       row["wer"] = r.result.word_error_rate();
       row["fer"] = r.result.frame_error_rate();
+      // Perf counters (src/perf/counters.hpp): exact fields pin the
+      // zero-allocation hot-path invariant, *_ns / *_per_second fields are
+      // host timing and only band-checked by bench_compare.
+      row["workspace_peak_bytes"] = r.result.workspace_peak_bytes;
+      row["steady_allocations"] = r.result.steady_allocations;
+      row["steady_frames"] = r.result.steady_frames;
+      row["allocations_per_frame"] = r.result.allocations_per_frame();
+      row["host_ns"] = r.result.host_ns;
+      row["channel_symbols"] = r.result.channel_symbols;
+      row["channel_symbols_per_second"] = r.result.channel_symbols_per_second();
       if (r.result.dram_ran) {
         row["dram_throughput_gbps"] = r.result.dram_throughput_gbps;
+        row["dram_bursts"] = r.result.dram.total_bursts();
+        row["dram_sched_ns_per_pick"] = r.result.dram.sched_ns_per_pick();
       }
       rows.push_back(row);
     }
     doc["records"] = rows;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

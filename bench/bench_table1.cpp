@@ -21,6 +21,7 @@
 #include "common/csv.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "perf/counters.hpp"
 #include "sim/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -74,9 +75,14 @@ int main(int argc, char** argv) {
       row["optimized_read"] = r.optimized_read;
       row["row_major_min"] = std::min(r.row_major_write, r.row_major_read);
       row["optimized_min"] = std::min(r.optimized_write, r.optimized_read);
+      row["row_major_sched_ns_per_pick"] = r.row_major_ns_per_pick;
+      row["optimized_sched_ns_per_pick"] = r.optimized_ns_per_pick;
       out_rows.push_back(row);
     }
     doc["rows"] = out_rows;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

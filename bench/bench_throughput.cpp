@@ -16,6 +16,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "perf/counters.hpp"
 #include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
@@ -98,6 +99,9 @@ int main(int argc, char** argv) {
       row["read_gbps"] = r.run.read.stats.bandwidth_gbps(device.burst_bytes);
       row["throughput_gbps"] = r.run.throughput_gbps(device.burst_bytes);
       row["meets_target"] = r.run.throughput_gbps(device.burst_bytes) / 2.0 >= target;
+      row["bursts"] = r.run.total_bursts();
+      row["activates"] = r.run.total_activates();
+      row["sched_ns_per_pick"] = r.run.sched_ns_per_pick();
       rows.push_back(row);
       total_bursts += r.run.write.stats.bursts + r.run.read.stats.bursts;
     }
@@ -105,6 +109,9 @@ int main(int argc, char** argv) {
     doc["simulated_bursts"] = total_bursts;
     doc["bursts_per_second"] =
         wall_seconds > 0 ? static_cast<double>(total_bursts) / wall_seconds : 0.0;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }

@@ -81,7 +81,16 @@ std::uint64_t LeoFadingChannel::apply(std::vector<std::uint8_t>& symbols, Rng& r
   std::size_t k = 0;
   while (k < symbols.size()) {
     if (sample_phase_ == 0) {
-      state_ = rho_ * state_ + sigma * next_gaussian(rng);
+      if (started_) {
+        state_ = rho_ * state_ + sigma * next_gaussian(rng);
+      } else {
+        // Stationary start: the process is unit-variance in steady state,
+        // so the very first sample comes from N(0,1) — not from the
+        // zero-variance median, which under-fades the first coherence
+        // time of every stream.
+        state_ = next_gaussian(rng);
+        started_ = true;
+      }
       faded_ = state_ < threshold_;
     }
     const std::size_t take = std::min(

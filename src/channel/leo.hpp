@@ -45,6 +45,12 @@ class LeoFadingChannel final : public Channel {
   double rho_;
   double threshold_;
   double state_ = 0.0;
+  /// False until the first power sample. The AR(1) recurrence is
+  /// variance-preserving only from a stationary start, so the first
+  /// sample is drawn from N(0,1) directly; seeding state_ = 0 (the
+  /// median, with zero variance) would bias short streams fade-free for
+  /// the first ~coherence time.
+  bool started_ = false;
   bool faded_ = false;
   /// Symbols already consumed of the current power sample. Carrying the
   /// phase across apply() calls makes the fading process continuous in

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 namespace tbi {
 
@@ -138,7 +139,12 @@ class Parser {
         fail("bad literal");
       case 'n':
         if (consume_literal("null")) return Json(nullptr);
+        if (consume_literal("nan")) fail("nan is not valid JSON (serialize as null)");
         fail("bad literal");
+      case 'N':
+      case 'i':
+      case 'I':
+        fail("nan/inf is not valid JSON (serialize as null)");
       default: return parse_number();
     }
   }
@@ -234,7 +240,13 @@ class Parser {
 
   Json parse_number() {
     std::size_t start = pos_;
-    if (peek() == '-') get();
+    if (peek() == '-') {
+      get();
+      if (pos_ < s_.size() &&
+          (s_[pos_] == 'i' || s_[pos_] == 'I' || s_[pos_] == 'n' || s_[pos_] == 'N')) {
+        fail("nan/inf is not valid JSON (serialize as null)");
+      }
+    }
     while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
                                 s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
                                 s_[pos_] == '+' || s_[pos_] == '-')) {
@@ -245,6 +257,9 @@ class Parser {
     const std::string tok = s_.substr(start, pos_ - start);
     double d = std::strtod(tok.c_str(), &end);
     if (end != tok.c_str() + tok.size()) fail("bad number '" + tok + "'");
+    // strtod saturates overflowing literals (e.g. "1e999") to infinity —
+    // not a value JSON can round-trip, so reject instead of smuggling it in.
+    if (!std::isfinite(d)) fail("number out of range '" + tok + "'");
     return Json(d);
   }
 
@@ -275,6 +290,13 @@ void dump_string(std::string& out, const std::string& s) {
 }
 
 void dump_number(std::string& out, double d) {
+  // JSON has no representation for NaN or infinity; "%.17g" would emit
+  // bare nan/inf tokens that no conforming parser (including ours)
+  // accepts. Serialize them as null so the document stays loadable.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
@@ -353,7 +375,25 @@ bool Json::write_file(const std::string& path, const Json& doc, int indent) {
     return false;
   }
   out << doc.dump(indent) << '\n';
-  return out.good();
+  // Checking good() before the buffer hits the file reports success on
+  // ENOSPC-style failures that only surface at flush/close time.
+  out.flush();
+  const bool ok = out.good();
+  out.close();
+  if (!ok || out.fail()) {
+    std::fprintf(stderr, "error: failed writing '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+Json Json::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JsonError("json: cannot read '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw JsonError("json: failed reading '" + path + "'");
+  return parse(text);
 }
 
 }  // namespace tbi

@@ -76,9 +76,15 @@ class Json {
   std::string dump(int indent = 0) const;
 
   /// Pretty-print \p doc (plus trailing newline) to \p path — the shared
-  /// sink of every bench's --json option. Returns false after printing a
-  /// cannot-write error to stderr when the file cannot be opened.
+  /// sink of every bench's --json option. Returns false after printing an
+  /// error to stderr when the file cannot be opened or the write fails
+  /// (checked after flush and close, so ENOSPC-style late failures are
+  /// reported too).
   static bool write_file(const std::string& path, const Json& doc, int indent = 2);
+
+  /// Load and parse a JSON document from \p path. Throws JsonError when
+  /// the file cannot be read or does not parse.
+  static Json read_file(const std::string& path);
 
  private:
   void dump_impl(std::string& out, int indent, int depth) const;

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "perf/counters.hpp"
+
 namespace tbi::dram {
 
 namespace {
@@ -664,6 +666,7 @@ void Controller::refresh_if_due(PhaseStats& stats) {
 PhaseStats Controller::run_phase(RequestStream& stream, std::string label) {
   PhaseStats stats;
   stats.label = std::move(label);
+  const std::uint64_t host_start_ns = perf::now_ns();
 
   const std::uint32_t banks = device_.banks;
   const std::uint32_t rows = device_.rows_per_bank;
@@ -698,11 +701,13 @@ PhaseStats Controller::run_phase(RequestStream& stream, std::string label) {
       default:
         throw std::logic_error("Controller: unknown policy");
     }
+    ++stats.picks;
     const Request req = slots_[slot_id];
     dequeue(slot_id);
     commit(req, plan, stats);
     refill();
   }
+  stats.host_ns = perf::now_ns() - host_start_ns;
   return stats;
 }
 

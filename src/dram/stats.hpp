@@ -15,6 +15,13 @@ struct PhaseStats {
   std::string label;
 
   std::uint64_t bursts = 0;
+  /// Scheduler decisions taken while draining the phase (one per burst
+  /// served; separate counter so the pick-cost metric stays honest if the
+  /// scheduling loop ever changes shape).
+  std::uint64_t picks = 0;
+  /// Host wall time spent inside Controller::run_phase for this phase, in
+  /// nanoseconds (two clock reads per phase — not per pick).
+  std::uint64_t host_ns = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t activates = 0;
@@ -42,6 +49,13 @@ struct PhaseStats {
     const Ps e = elapsed();
     if (e <= 0) return 0.0;
     return 8000.0 * static_cast<double>(bursts) * burst_bytes / static_cast<double>(e);
+  }
+
+  /// Host nanoseconds per scheduler pick — the perf-observability metric
+  /// for the controller hot path (compared with a loose band, never
+  /// exactly: it is host timing, not simulated time).
+  double ns_per_pick() const {
+    return picks ? static_cast<double>(host_ns) / static_cast<double>(picks) : 0.0;
   }
 
   double row_hit_rate() const {

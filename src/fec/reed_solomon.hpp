@@ -46,6 +46,19 @@ struct RsScratch {
   std::vector<std::uint8_t> omega;      ///< error evaluator
   std::vector<std::uint8_t> deriv;      ///< sigma' (formal derivative)
   std::vector<unsigned> positions;      ///< Chien search hits
+
+  /// Pre-size every buffer for length-\p n code words. The decoder grows
+  /// them lazily to the worst error count seen so far; reserving up front
+  /// is what makes the pipeline's steady-state frame loop allocation-free.
+  void reserve(std::size_t n) {
+    synd.reserve(n);
+    sigma.reserve(n);
+    prev.reserve(n);
+    tmp.reserve(n);
+    omega.reserve(n);
+    deriv.reserve(n);
+    positions.reserve(n);
+  }
 };
 
 class ReedSolomon {

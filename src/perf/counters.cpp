@@ -1,0 +1,118 @@
+#include "perf/counters.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+namespace tbi::perf {
+
+namespace {
+
+// Constant-initialized counters: safe to bump from any allocation,
+// including ones that run before main() or during static destruction.
+thread_local AllocTotals t_totals;
+std::atomic<std::uint64_t> g_process_count{0};
+
+inline void note_alloc(std::size_t bytes) noexcept {
+  ++t_totals.count;
+  t_totals.bytes += bytes;
+  g_process_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) note_alloc(size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  note_alloc(size);
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+AllocTotals thread_alloc_totals() { return t_totals; }
+
+std::uint64_t process_alloc_count() {
+  return g_process_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace tbi::perf
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacement — the allocation-counting hook.
+// malloc-backed so sanitizers (which intercept malloc/free) still see
+// every allocation; counting is two thread-local adds plus one relaxed
+// atomic, negligible next to the allocation itself.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = tbi::perf::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = tbi::perf::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tbi::perf::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tbi::perf::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = tbi::perf::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = tbi::perf::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return tbi::perf::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return tbi::perf::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

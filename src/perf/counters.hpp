@@ -1,0 +1,60 @@
+/// \file counters.hpp
+/// Cheap in-process performance counters (ddprof-style observability).
+///
+/// Three primitives, all cheap enough to stay on in release builds:
+///
+///  * An allocation-counting hook: the library replaces the global
+///    `operator new` family with a malloc-backed version that bumps a
+///    thread-local counter (plus one relaxed process-wide atomic) per
+///    allocation. `AllocationScope` reads deltas of the calling thread's
+///    counter, which is exactly right for sweep cells: one job runs
+///    start-to-finish on one worker thread, so a scope opened inside the
+///    job sees that job's allocations and nobody else's. The FER frame
+///    loop uses it to assert the steady state allocates nothing.
+///  * `now_ns()`: a monotonic nanosecond timestamp (steady clock, two
+///    calls per measured region — never per-iteration).
+///  * Derived rates stamped into every bench `--json` record (ns per
+///    scheduler pick, channel symbols per second, allocations per frame)
+///    so a perf regression localizes itself instead of needing a bisect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tbi::perf {
+
+/// Monotonic nanosecond timestamp (steady clock).
+std::uint64_t now_ns();
+
+/// Allocation counters; totals are since thread (or process) start.
+struct AllocTotals {
+  std::uint64_t count = 0;  ///< number of operator-new allocations
+  std::uint64_t bytes = 0;  ///< sum of requested sizes
+};
+
+/// Totals of the calling thread.
+AllocTotals thread_alloc_totals();
+
+/// Process-wide allocation count (relaxed atomic; all threads).
+std::uint64_t process_alloc_count();
+
+/// Delta window over the calling thread's allocation counters. Open it,
+/// run the region of interest, read `allocations()` / `bytes()`. Must be
+/// read on the thread that constructed it.
+class AllocationScope {
+ public:
+  AllocationScope() : start_(thread_alloc_totals()) {}
+
+  /// Move the window start to now (e.g. after a warm-up frame).
+  void restart() { start_ = thread_alloc_totals(); }
+
+  std::uint64_t allocations() const {
+    return thread_alloc_totals().count - start_.count;
+  }
+  std::uint64_t bytes() const { return thread_alloc_totals().bytes - start_.bytes; }
+
+ private:
+  AllocTotals start_;
+};
+
+}  // namespace tbi::perf

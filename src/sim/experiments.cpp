@@ -46,6 +46,8 @@ std::vector<Table1Row> run_table1(const Table1Options& options) {
     row.row_major_read = rm.read.stats.utilization();
     row.optimized_write = opt.write.stats.utilization();
     row.optimized_read = opt.read.stats.utilization();
+    row.row_major_ns_per_pick = rm.sched_ns_per_pick();
+    row.optimized_ns_per_pick = opt.sched_ns_per_pick();
     rows.push_back(row);
   }
   return rows;
@@ -83,7 +85,7 @@ std::vector<AblationRow> run_ablation(const dram::DeviceConfig& device,
     rc.max_bursts_per_phase = max_bursts_per_phase;
     const InterleaverRun run = run_interleaver(rc);
     return AblationRow{run.mapping_name, run.write.stats.utilization(),
-                       run.read.stats.utilization()};
+                       run.read.stats.utilization(), run.sched_ns_per_pick()};
   });
 }
 
@@ -104,9 +106,13 @@ std::vector<DimensionRow> run_dimension_sweep(
     rc.side = row.side_bursts;
 
     rc.mapping_spec = "row-major";
-    row.row_major_min = run_interleaver(rc).min_utilization();
+    const InterleaverRun rm = run_interleaver(rc);
+    row.row_major_min = rm.min_utilization();
+    row.row_major_ns_per_pick = rm.sched_ns_per_pick();
     rc.mapping_spec = "optimized";
-    row.optimized_min = run_interleaver(rc).min_utilization();
+    const InterleaverRun opt = run_interleaver(rc);
+    row.optimized_min = opt.min_utilization();
+    row.optimized_ns_per_pick = opt.sched_ns_per_pick();
     return row;
   });
 }

@@ -21,6 +21,9 @@ struct Table1Row {
   double row_major_read = 0;
   double optimized_write = 0;
   double optimized_read = 0;
+  /// Host scheduling cost (perf counter, both phases pooled), per mapping.
+  double row_major_ns_per_pick = 0;
+  double optimized_ns_per_pick = 0;
 };
 
 struct Table1Options {
@@ -51,6 +54,8 @@ struct AblationRow {
   std::string variant;
   double write = 0;
   double read = 0;
+  /// Host scheduling cost (perf counter, both phases pooled).
+  double ns_per_pick = 0;
   double min() const { return write < read ? write : read; }
 };
 
@@ -65,6 +70,9 @@ struct DimensionRow {
   std::uint64_t side_bursts = 0;
   double row_major_min = 0;
   double optimized_min = 0;
+  /// Host scheduling cost (perf counter, both phases pooled), per mapping.
+  double row_major_ns_per_pick = 0;
+  double optimized_ns_per_pick = 0;
 };
 
 std::vector<DimensionRow> run_dimension_sweep(const dram::DeviceConfig& device,

@@ -13,6 +13,7 @@
 #include "interleaver/streams.hpp"
 #include "interleaver/triangular.hpp"
 #include "interleaver/twostage.hpp"
+#include "perf/counters.hpp"
 
 namespace tbi::sim {
 
@@ -138,6 +139,7 @@ struct FrameWorkspace {
     }
     ws.word.resize(n);
     ws.data.reserve(cap);
+    ws.rs_scratch.reserve(n);
     return ws;
   }
 
@@ -146,7 +148,11 @@ struct FrameWorkspace {
     FrameWorkspace ws;
     ws.word.resize(n);
     ws.data.resize(k);
+    ws.rs_scratch.reserve(n);
     ws.chunk.reserve(chunk_symbols);
+    // Headroom for the per-frame corruption list so a noisier-than-frame-0
+    // frame does not count a reallocation against the steady state.
+    ws.hits.reserve(4096);
     return ws;
   }
 
@@ -243,7 +249,12 @@ void run_frames_materialized(const PipelineConfig& config,
 
   FrameWorkspace ws = FrameWorkspace::materialized(side, config.rs_n, il.active());
 
+  const std::uint64_t host_start = perf::now_ns();
+  perf::AllocationScope alloc_scope;
   for (unsigned f = 0; f < config.frames; ++f) {
+    // Frame 0 is the warm-up (data.reserve growth, decoder scratch); the
+    // steady-state window starts after it.
+    if (f == 1) alloc_scope.restart();
     make_frame(rs, side, data_rng, ws);
     // The "none" identity runs the channel directly on the packed stream
     // — no copies at all.
@@ -251,6 +262,7 @@ void run_frames_materialized(const PipelineConfig& config,
     if (il.active()) il.forward_into(ws.stream, ws.tx);
     if (ch) {
       result.channel_symbol_errors += ch->apply(wire, channel_rng);
+      result.channel_symbols += wire.size();
     }
     const std::vector<std::uint8_t>* rx = &wire;
     if (il.active()) {
@@ -259,6 +271,9 @@ void run_frames_materialized(const PipelineConfig& config,
     }
     decode_frame(rs, side, *rx, ws, result);
   }
+  result.host_ns = perf::now_ns() - host_start;
+  result.steady_allocations = config.frames > 1 ? alloc_scope.allocations() : 0;
+  result.steady_frames = config.frames - 1;
   result.workspace_peak_bytes = ws.allocated_bytes();
 }
 
@@ -293,10 +308,16 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
   FrameWorkspace ws = FrameWorkspace::streaming(n, k, chunk_symbols);
   std::uint8_t* word = ws.word.data();
 
+  const std::uint64_t host_start = perf::now_ns();
+  perf::AllocationScope alloc_scope;
   for (unsigned f = 0; f < config.frames; ++f) {
+    // Frame 0 is the warm-up (chunk/hits growth, decoder scratch); the
+    // steady-state window starts after it.
+    if (f == 1) alloc_scope.restart();
     // --- channel pass, wire order, bounded chunks --------------------------
     ws.hits.clear();
     if (ch != nullptr) {
+      result.channel_symbols += capacity;
       for (std::uint64_t pos = 0; pos < capacity; pos += chunk_symbols) {
         const std::uint64_t len = std::min(chunk_symbols, capacity - pos);
         ws.chunk.assign(len, 0);
@@ -350,6 +371,9 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
     result.word_errors += failures;
     result.frame_errors += failures != 0;
   }
+  result.host_ns = perf::now_ns() - host_start;
+  result.steady_allocations = config.frames > 1 ? alloc_scope.allocations() : 0;
+  result.steady_frames = config.frames - 1;
   result.workspace_peak_bytes = ws.allocated_bytes();
 }
 

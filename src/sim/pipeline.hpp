@@ -96,6 +96,29 @@ struct PipelineResult {
   /// stays bounded by the chunk size, not the triangle capacity.
   std::uint64_t workspace_peak_bytes = 0;
 
+  // --- in-process perf counters (src/perf/counters.hpp) --------------------
+  /// Host wall time of the frame loop (encode + channel + decode), ns.
+  std::uint64_t host_ns = 0;
+  /// operator-new allocations on this thread after the warm-up frame —
+  /// the workspace-reuse invariant says this is 0 for the FER hot path.
+  std::uint64_t steady_allocations = 0;
+  /// Frames covered by steady_allocations (frames - 1; 0 when frames == 1,
+  /// in which case allocations per frame is reported as 0, not measured).
+  std::uint64_t steady_frames = 0;
+  /// Symbols pushed through the channel model (0 when channel == "none").
+  std::uint64_t channel_symbols = 0;
+
+  double allocations_per_frame() const {
+    return steady_frames ? static_cast<double>(steady_allocations) /
+                               static_cast<double>(steady_frames)
+                         : 0.0;
+  }
+  double channel_symbols_per_second() const {
+    return host_ns ? 1e9 * static_cast<double>(channel_symbols) /
+                         static_cast<double>(host_ns)
+                   : 0.0;
+  }
+
   double word_error_rate() const {
     return code_words ? static_cast<double>(word_errors) / static_cast<double>(code_words)
                       : 0.0;

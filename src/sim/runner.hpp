@@ -51,6 +51,22 @@ struct InterleaverRun {
     return std::min(write.stats.bandwidth_gbps(burst_bytes),
                     read.stats.bandwidth_gbps(burst_bytes));
   }
+
+  // Perf-counter aggregates over both phases, stamped into every bench
+  // --json record (see src/perf/counters.hpp).
+  std::uint64_t total_bursts() const {
+    return write.stats.bursts + read.stats.bursts;
+  }
+  std::uint64_t total_activates() const {
+    return write.stats.activates + read.stats.activates;
+  }
+  /// Host nanoseconds per scheduler pick, averaged over both phases.
+  double sched_ns_per_pick() const {
+    const std::uint64_t picks = write.stats.picks + read.stats.picks;
+    return picks ? static_cast<double>(write.stats.host_ns + read.stats.host_ns) /
+                       static_cast<double>(picks)
+                 : 0.0;
+  }
 };
 
 /// Execute write phase then read phase on a fresh controller.

@@ -105,10 +105,14 @@ void ThreadPool::worker_loop() {
 // ---------------------------------------------------------------------------
 
 std::string Scenario::label() const {
-  std::string s = device + "/" + mapping_spec;
-  if (interleaver != "triangular") s += "/" + interleaver;
+  // Injective over the full tuple: every axis is always spelled out, so
+  // two distinct cells can never share a label (eliding "triangular" or
+  // the rs_k of channel-free cells used to collide e.g. distinct rs_k
+  // cells under channel == "none"). Only the optional symbols_per_burst
+  // axis is elided, and only in its single "unset" state (0).
+  std::string s = device + "/" + mapping_spec + "/" + interleaver;
   if (symbols_per_burst != 0) s += "/spb" + std::to_string(symbols_per_burst);
-  if (channel != "none") s += "/" + channel + "/RS(255," + std::to_string(rs_k) + ")";
+  s += "/" + channel + "/RS(255," + std::to_string(rs_k) + ")";
   return s;
 }
 

@@ -125,6 +125,36 @@ TEST(Leo, FadeDutyCycleMatchesTarget) {
   EXPECT_NEAR(static_cast<double>(errors) / data.size(), 0.1, 0.05);
 }
 
+TEST(Leo, ShortStreamsStartFromStationaryState) {
+  // Regression: the AR(1) power process used to start at state = 0 (the
+  // median, with zero variance), so every fresh channel was guaranteed
+  // fade-free until the state random-walked down — strongly correlated
+  // processes (rho ~ 0.99) under-faded short streams by an order of
+  // magnitude. The first sample must be drawn from the stationary N(0,1),
+  // which makes the fade duty cycle of many independent short streams
+  // match the configured probability.
+  LeoChannelParams p;
+  p.symbol_rate_hz = 1.0;
+  p.coherence_time_s = 6400.0;  // 100 samples per coherence -> rho ~ 0.99
+  p.symbols_per_sample = 64;
+  p.fade_probability = 0.3;
+  p.fade_depth_error_rate = 1.0;  // faded <=> corrupted, so errors == duty
+
+  std::uint64_t errors = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 0; s < 500; ++s) {
+    LeoFadingChannel ch(p);  // fresh channel: each stream is a cold start
+    Rng rng(1000 + s);
+    std::vector<std::uint8_t> data(2048, 0);  // 32 samples << coherence
+    errors += ch.apply(data, rng);
+    total += data.size();
+  }
+  const double duty = static_cast<double>(errors) / static_cast<double>(total);
+  // The broken cold start measured ~0.01-0.03 here; the stationary start
+  // concentrates near the configured 0.3.
+  EXPECT_NEAR(duty, 0.3, 0.06);
+}
+
 TEST(Leo, CoherenceProducesLongFades) {
   // With a 2 ms coherence time at 50 Gsym/s, fades span millions of
   // symbols — the paper's motivation for huge interleavers.

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
 namespace tbi {
 namespace {
 
@@ -96,6 +101,65 @@ TEST(Json, DumpEscapesControlCharacters) {
 TEST(Json, IntegersDumpWithoutExponent) {
   EXPECT_EQ(Json(12500000).dump(), "12500000");
   EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, NonFiniteDumpsAsNullAndRoundTrips) {
+  // Regression: "%.17g" used to emit bare nan/inf tokens, which is not
+  // JSON — the documents written by the benches were unloadable. Non-
+  // finite numbers serialize as null and the result must stay parseable.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+
+  Json doc;
+  doc["rate"] = Json(0.0 / 0.0);
+  doc["ok"] = 1.5;
+  const Json back = Json::parse(doc.dump(2));
+  EXPECT_TRUE(back.at("rate").is_null());
+  EXPECT_DOUBLE_EQ(back.at("ok").as_double(), 1.5);
+}
+
+TEST(Json, ParseRejectsNanAndInfWithClearError) {
+  for (const char* text : {"nan", "-nan", "NaN", "inf", "-inf", "Infinity"}) {
+    try {
+      Json::parse(text);
+      FAIL() << "parsed '" << text << "'";
+    } catch (const JsonError& e) {
+      EXPECT_NE(std::string(e.what()).find("not valid JSON"), std::string::npos)
+          << text << ": " << e.what();
+    }
+  }
+  // strtod saturates overflow to infinity; that must not sneak through.
+  EXPECT_THROW(Json::parse("1e999"), JsonError);
+  EXPECT_THROW(Json::parse("-1e999"), JsonError);
+  EXPECT_THROW(Json::parse("[1, nan]"), JsonError);
+}
+
+TEST(Json, WriteFileReportsFlushFailure) {
+  Json doc;
+  doc["x"] = 1;
+  // /dev/full opens writable but fails at flush with ENOSPC — exactly the
+  // late failure the pre-flush good() check used to miss.
+  std::ifstream probe("/dev/full");
+  if (probe.good()) {
+    EXPECT_FALSE(Json::write_file("/dev/full", doc));
+  }
+  EXPECT_FALSE(Json::write_file("/no/such/dir/out.json", doc));
+}
+
+TEST(Json, WriteThenReadFileRoundTrips) {
+  Json doc;
+  doc["name"] = "round-trip";
+  doc["values"].push_back(1);
+  doc["values"].push_back(2.5);
+  const std::string path = ::testing::TempDir() + "json_roundtrip_test.json";
+  ASSERT_TRUE(Json::write_file(path, doc));
+  const Json back = Json::read_file(path);
+  EXPECT_EQ(back.at("name").as_string(), "round-trip");
+  EXPECT_EQ(back.at("values").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.at("values").as_array()[1].as_double(), 2.5);
+  std::remove(path.c_str());
+  EXPECT_THROW(Json::read_file(path), JsonError);
 }
 
 }  // namespace

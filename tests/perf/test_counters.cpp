@@ -1,0 +1,76 @@
+#include "perf/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace tbi::perf {
+namespace {
+
+TEST(NowNs, MonotonicAndAdvances) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(AllocationScope, CountsOperatorNew) {
+  AllocationScope scope;
+  // Volatile-free but observable: make allocations the optimizer cannot
+  // elide by keeping the pointers alive across the reads.
+  std::vector<std::unique_ptr<int>> keep;
+  for (int i = 0; i < 10; ++i) keep.push_back(std::make_unique<int>(i));
+  EXPECT_GE(scope.allocations(), 10u);
+  EXPECT_GE(scope.bytes(), 10u * sizeof(int));
+}
+
+TEST(AllocationScope, RestartMovesTheWindow) {
+  AllocationScope scope;
+  auto warmup = std::make_unique<int>(1);
+  EXPECT_GE(scope.allocations(), 1u);
+  scope.restart();
+  EXPECT_EQ(scope.allocations(), 0u);
+  EXPECT_EQ(scope.bytes(), 0u);
+  auto counted = std::make_unique<int>(2);
+  EXPECT_GE(scope.allocations(), 1u);
+}
+
+TEST(AllocationScope, ThreadLocalWindowIgnoresOtherThreads) {
+  AllocationScope scope;
+  scope.restart();
+  const std::uint64_t before = scope.allocations();
+  std::thread other([] {
+    std::vector<std::unique_ptr<int>> keep;
+    for (int i = 0; i < 1000; ++i) keep.push_back(std::make_unique<int>(i));
+  });
+  other.join();
+  // The other thread's 1000 allocations must not appear in this thread's
+  // window (thread startup may allocate on this thread via the runtime,
+  // so allow a small slop, not 1000).
+  EXPECT_LT(scope.allocations() - before, 100u);
+}
+
+TEST(ProcessAllocCount, SeesAllThreads) {
+  const std::uint64_t before = process_alloc_count();
+  std::thread other([] {
+    std::vector<std::unique_ptr<int>> keep;
+    for (int i = 0; i < 1000; ++i) keep.push_back(std::make_unique<int>(i));
+  });
+  other.join();
+  EXPECT_GE(process_alloc_count() - before, 1000u);
+}
+
+TEST(AllocationHook, AlignedNewIsCountedAndUsable) {
+  AllocationScope scope;
+  scope.restart();
+  struct alignas(64) Wide {
+    double d[8];
+  };
+  auto p = std::make_unique<Wide>();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.get()) % 64, 0u);
+  EXPECT_GE(scope.allocations(), 1u);
+}
+
+}  // namespace
+}  // namespace tbi::perf

@@ -45,6 +45,37 @@ TEST(ThreadPool, WaitIdleRethrowsJobException) {
   EXPECT_THROW(pool.wait_idle(), std::runtime_error);
 }
 
+TEST(ThreadPool, JobExceptionPropagatesExactlyOnceAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The captured error must not resurface on the next drain...
+  EXPECT_NO_THROW(pool.wait_idle());
+  // ...and the workers must still run jobs after rethrowing.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(SweepMap, ThrowingJobPropagatesAndNextSweepWorks) {
+  SweepOptions opt;
+  opt.threads = 4;
+  EXPECT_THROW(sweep_map(16, opt,
+                         [](std::uint64_t i, std::uint64_t) -> int {
+                           if (i == 7) throw std::runtime_error("cell failed");
+                           return static_cast<int>(i);
+                         }),
+               std::runtime_error);
+  const auto out = sweep_map(16, opt, [](std::uint64_t i, std::uint64_t) {
+    return static_cast<int>(i) + 1;
+  });
+  ASSERT_EQ(out.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i + 1);
+}
+
 TEST(ThreadPool, ReusableAfterWait) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
@@ -108,6 +139,27 @@ TEST(SweepGrid, PaperGridCoversTableI) {
   EXPECT_EQ(grid.devices.size(), 10u);
   EXPECT_EQ(grid.mapping_specs.size(), 2u);
   EXPECT_EQ(grid.size(), 20u);
+}
+
+TEST(Scenario, LabelIsInjectiveOverTheFullGrid) {
+  // Regression: the label used to elide the "triangular" interleaver and
+  // the rs_k of channel-free cells, so e.g. RS(255,223) and RS(255,191)
+  // cells with channel == "none" collided — summaries then reported the
+  // wrong worst cell. Every axis value must produce a distinct label.
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200", "LPDDR5-8533"};
+  grid.mapping_specs = {"row-major", "optimized"};
+  grid.interleavers = {"none", "block", "triangular", "two-stage"};
+  grid.channels = {"none", "bsc", "gilbert-elliott", "leo"};
+  grid.rs_ks = {239, 223, 191};
+  grid.symbols_per_bursts = {0, 64, 170};
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), grid.size());
+  std::set<std::string> labels;
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(labels.insert(cell.label()).second)
+        << "duplicate label: " << cell.label();
+  }
 }
 
 BandwidthSweepOptions quick_sweep(unsigned threads) {
@@ -209,7 +261,8 @@ TEST(Summary, TracksBestAndWorst) {
   EXPECT_LE(summary.mean_utilization, summary.max_utilization);
   // Row-major read collapses on LPDDR4-4266 (paper Table I), so that cell
   // must be the worst of this grid.
-  EXPECT_EQ(summary.worst_scenario, "LPDDR4-4266/row-major");
+  EXPECT_EQ(summary.worst_scenario,
+            "LPDDR4-4266/row-major/triangular/none/RS(255,223)");
 }
 
 TEST(Summary, EmptyIsZero) {
