@@ -7,8 +7,15 @@
 /// DRAM-resident implementation sustains the link rate only with the
 /// optimized mapping.
 ///
-/// Runs on the parallel sweep engine with deterministic per-cell seeding:
-/// the records are identical for any --threads value.
+/// Runs on the fault-tolerant sweep backend (sim/dsweep.hpp) with
+/// deterministic per-cell seeding: the records are identical for any
+/// --threads *and* --workers value. `--workers N` shards the grid over N
+/// worker processes with crash recovery; with `--json` every completed
+/// cell is checkpointed to `<file>.manifest`, `--resume` skips the cells
+/// already recorded there, and SIGINT/SIGTERM flush a valid partial
+/// document (plus the manifest) before exiting 130. `--stable-json` drops
+/// the host-timing fields so two runs of the same sweep can be compared
+/// with a plain diff.
 ///
 /// The interleaver axis includes the paper's headline "two-stage" scheme
 /// (§II): those cells run the streaming frame path at the burst-granular
@@ -17,9 +24,11 @@
 /// rows.
 ///
 /// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
-///                  [--fade-prob P] [--burst-symbols B] [--side S] [--spb B]
-///                  [--markdown] [--progress] [--json FILE]
+///                  [--workers N] [--resume] [--fade-prob P]
+///                  [--burst-symbols B] [--side S] [--spb B] [--markdown]
+///                  [--progress] [--json FILE] [--stable-json]
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -27,14 +36,32 @@
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "perf/counters.hpp"
+#include "sim/dsweep.hpp"
 #include "sim/pipeline.hpp"
 
+namespace {
+
+volatile std::sig_atomic_t g_cancel = 0;
+
+void handle_signal(int) { g_cancel = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Worker re-invocation? Hand the process to the protocol loop before
+  // any CLI parsing.
+  const int worker_fd = tbi::sim::dsweep_worker_fd(argc, argv);
+  if (worker_fd >= 0) {
+    return tbi::sim::dsweep_worker_main(worker_fd);
+  }
+
   tbi::CliParser cli("bench_fer", "FER sweep: interleaver x channel x code rate");
   cli.add_option("device", "name", "DRAM device (default LPDDR5-8533)");
   cli.add_option("frames", "n", "frames per scenario (default 40)");
   cli.add_option("seed", "s", "sweep base seed (default 1)");
   cli.add_option("threads", "T", "sweep worker threads (default: all cores)");
+  cli.add_option("workers", "N", "worker processes (default 1 = in-process)");
+  cli.add_option("resume", "", "skip cells recorded in the --json manifest");
   cli.add_option("fade-prob", "p", "stationary fade duty cycle (default 0.004)");
   cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
   cli.add_option("side", "s", "interleaver side (0 = RS-255 triangle; bursts for two-stage)");
@@ -42,6 +69,7 @@ int main(int argc, char** argv) {
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("progress", "", "print sweep progress to stderr");
   cli.add_option("json", "file", "write config + wall time + records as JSON");
+  cli.add_option("stable-json", "", "omit host-timing fields (diffable output)");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -56,6 +84,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown device '%s'\n", device.c_str());
     return 1;
   }
+  if (cli.has("resume") && !cli.has("json")) {
+    std::fprintf(stderr, "error: --resume needs --json (the manifest lives "
+                         "next to the JSON sink)\n");
+    return 1;
+  }
 
   tbi::sim::SweepGrid grid;
   grid.devices = {device};
@@ -66,14 +99,6 @@ int main(int argc, char** argv) {
   tbi::sim::FerSweepOptions options;
   options.sweep.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   options.sweep.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  if (cli.has("progress")) {
-    options.sweep.progress = [](const tbi::sim::SweepProgress& p) {
-      std::fprintf(stderr, "\r%llu/%llu scenarios",
-                   static_cast<unsigned long long>(p.completed),
-                   static_cast<unsigned long long>(p.total));
-      if (p.completed == p.total) std::fputc('\n', stderr);
-    };
-  }
   options.base.frames = static_cast<unsigned>(cli.get_int("frames", 40));
   options.base.fade_fraction = cli.get_double("fade-prob", 0.004);
   options.base.mean_burst_symbols = cli.get_double("burst-symbols", 300);
@@ -82,36 +107,74 @@ int main(int argc, char** argv) {
   options.base.side = static_cast<std::uint64_t>(cli.get_int("side", 0));
   options.base.symbols_per_burst = static_cast<std::uint64_t>(cli.get_int("spb", 64));
 
-  std::vector<tbi::sim::FerRecord> records;
+  tbi::sim::DsweepOptions dist;
+  dist.workers = static_cast<unsigned>(cli.get_int("workers", 1));
+  dist.resume = cli.has("resume");
+  if (cli.has("json")) {
+    dist.manifest_path = cli.get("json", "") + ".manifest";
+  }
+  dist.cancel = &g_cancel;
+  if (cli.has("progress")) {
+    dist.progress = [](const tbi::sim::SweepProgress& p) {
+      std::fprintf(stderr, "\r%llu/%llu scenarios",
+                   static_cast<unsigned long long>(p.completed),
+                   static_cast<unsigned long long>(p.total));
+      if (p.completed == p.total) std::fputc('\n', stderr);
+    };
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  tbi::sim::FerDistResult sweep;
   const auto wall_start = std::chrono::steady_clock::now();
   try {
-    records = tbi::sim::run_fer_sweep(grid, options);
-  } catch (const std::invalid_argument& e) {
+    dist.faults = tbi::sim::FaultSpec::from_env();
+    sweep = tbi::sim::run_fer_sweep_dist(grid, options, dist);
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
+  const bool interrupted = sweep.stats.interrupted;
+  std::uint64_t completed = 0;
+  for (const bool d : sweep.done) completed += d ? 1 : 0;
 
   if (cli.has("json")) {
+    // --stable-json drops everything that varies run to run (host timing,
+    // machine load, process bookkeeping, worker topology), so clean,
+    // fault-injected and resumed runs of one sweep are literally
+    // diffable. The default document keeps it all for bench_compare.
+    const bool stable = cli.has("stable-json");
     tbi::Json doc;
     doc["bench"] = "bench_fer";
     tbi::Json config;
     config["device"] = device;
     config["frames"] = static_cast<std::uint64_t>(options.base.frames);
     config["seed"] = options.sweep.base_seed;
-    config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
+    if (!stable) {
+      config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
+      config["workers"] = static_cast<std::uint64_t>(dist.workers);
+    }
     config["fade_prob"] = options.base.fade_fraction;
     config["burst_symbols"] = options.base.mean_burst_symbols;
     config["side"] = options.base.side;
     config["spb"] = options.base.symbols_per_burst;
     doc["config"] = config;
-    doc["wall_seconds"] = wall_seconds;
-    doc["scenarios_per_second"] =
-        wall_seconds > 0 ? static_cast<double>(records.size()) / wall_seconds : 0.0;
+    if (!stable) {
+      doc["wall_seconds"] = wall_seconds;
+      doc["scenarios_per_second"] =
+          wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+    }
+    if (interrupted) {
+      doc["interrupted"] = true;  // partial document: completed cells only
+    }
     tbi::Json::Array rows;
-    for (const auto& r : records) {
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      if (!sweep.done[i]) continue;
+      const auto& r = sweep.cells[i];
       tbi::Json row;
       row["interleaver"] = r.scenario.interleaver;
       row["channel"] = r.scenario.channel;
@@ -131,22 +194,34 @@ int main(int argc, char** argv) {
       row["steady_allocations"] = r.result.steady_allocations;
       row["steady_frames"] = r.result.steady_frames;
       row["allocations_per_frame"] = r.result.allocations_per_frame();
-      row["host_ns"] = r.result.host_ns;
+      if (!stable) {
+        row["host_ns"] = r.result.host_ns;
+      }
       row["channel_symbols"] = r.result.channel_symbols;
-      row["channel_symbols_per_second"] = r.result.channel_symbols_per_second();
+      if (!stable) {
+        row["channel_symbols_per_second"] = r.result.channel_symbols_per_second();
+      }
       if (r.result.dram_ran) {
         row["dram_throughput_gbps"] = r.result.dram_throughput_gbps;
-        row["dram_bursts"] = r.result.dram.total_bursts();
-        row["dram_sched_ns_per_pick"] = r.result.dram.sched_ns_per_pick();
+        row["dram_bursts"] = r.dram_bursts;
+        if (!stable) {
+          row["dram_sched_ns_per_pick"] = r.dram_sched_ns_per_pick;
+        }
       }
       rows.push_back(row);
     }
     doc["records"] = rows;
-    tbi::Json perf;
-    perf["process_allocations"] = tbi::perf::process_alloc_count();
-    doc["perf"] = perf;
+    if (!stable) {
+      doc["dsweep"] = sweep.stats.to_json();
+      tbi::Json perf;
+      perf["process_allocations"] = tbi::perf::process_alloc_count();
+      doc["perf"] = perf;
+    }
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
+    }
+    if (!interrupted && !dist.manifest_path.empty()) {
+      std::remove(dist.manifest_path.c_str());  // checkpoint served its purpose
     }
   }
 
@@ -154,7 +229,9 @@ int main(int argc, char** argv) {
                    std::to_string(options.base.frames) + " frames per scenario)");
   t.set_header({"Interleaver", "Channel", "Code", "Word Errors", "WER", "FER",
                 "DRAM Gbit/s"});
-  for (const auto& r : records) {
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    if (!sweep.done[i]) continue;
+    const auto& r = sweep.cells[i];
     char code[24], wer[24], fer[24], gbps[24];
     std::snprintf(code, sizeof code, "RS(255,%u)", r.scenario.rs_k);
     std::snprintf(wer, sizeof wer, "%.5f", r.result.word_error_rate());
@@ -169,6 +246,14 @@ int main(int argc, char** argv) {
   }
   std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
              stdout);
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: %llu/%llu scenarios completed (checkpointed%s)\n",
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(sweep.cells.size()),
+                 cli.has("json") ? "; rerun with --resume to finish" : "");
+    return 130;
+  }
   std::puts(
       "\nExpected shape: the memoryless bsc rows are interleaver-neutral;\n"
       "on the bursty channels the triangular interleaver turns frame losses\n"

@@ -4,6 +4,13 @@
 /// result document back — the scriptable front door to the library for
 /// parameter studies beyond the canned benches.
 ///
+/// Runs on the fault-tolerant sweep backend (sim/dsweep.hpp, "bandwidth"
+/// kernel): `--workers N` shards the runs over N crash-isolated worker
+/// processes; with `--output` every finished run is checkpointed to
+/// `<file>.manifest` and `--resume` skips the runs already recorded
+/// there. Results are merged by run index, so the document is identical
+/// for any worker count.
+///
 /// Config format (all fields except "runs" optional):
 /// {
 ///   "symbols": 12500000,
@@ -16,16 +23,16 @@
 /// }
 ///
 /// Usage: experiment_runner --config FILE [--output FILE]
+///                          [--workers N] [--resume]
 ///        experiment_runner --print-default-config
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
-#include "dram/standards.hpp"
-#include "interleaver/streams.hpp"
-#include "sim/runner.hpp"
+#include "sim/dsweep.hpp"
 
 namespace {
 
@@ -41,25 +48,23 @@ const char* kDefaultConfig = R"({
   ]
 })";
 
-tbi::Json phase_to_json(const tbi::sim::PhaseResult& p, unsigned burst_bytes) {
-  tbi::Json j;
-  j["utilization"] = p.stats.utilization();
-  j["bandwidth_gbps"] = p.stats.bandwidth_gbps(burst_bytes);
-  j["bursts"] = static_cast<std::int64_t>(p.stats.bursts);
-  j["activates"] = static_cast<std::int64_t>(p.stats.activates);
-  j["row_hit_rate"] = p.stats.row_hit_rate();
-  j["refreshes"] = static_cast<std::int64_t>(p.stats.refreshes);
-  j["elapsed_us"] = static_cast<double>(p.stats.elapsed()) / 1e6;
-  j["energy_nj"] = p.energy.total_nj();
-  return j;
-}
+volatile std::sig_atomic_t g_cancel = 0;
+
+void handle_signal(int) { g_cancel = 1; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int worker_fd = tbi::sim::dsweep_worker_fd(argc, argv);
+  if (worker_fd >= 0) {
+    return tbi::sim::dsweep_worker_main(worker_fd);
+  }
+
   tbi::CliParser cli("experiment_runner", "JSON-driven simulation batches");
   cli.add_option("config", "file", "JSON experiment description");
   cli.add_option("output", "file", "write results to file (default stdout)");
+  cli.add_option("workers", "N", "worker processes (default 1 = in-process)");
+  cli.add_option("resume", "", "skip runs recorded in the --output manifest");
   cli.add_option("print-default-config", "", "emit a starter config and exit");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
@@ -72,6 +77,11 @@ int main(int argc, char** argv) {
   if (cli.has("print-default-config")) {
     std::puts(kDefaultConfig);
     return 0;
+  }
+  if (cli.has("resume") && !cli.has("output")) {
+    std::fprintf(stderr, "error: --resume needs --output (the manifest lives "
+                         "next to the output file)\n");
+    return 1;
   }
 
   std::string text;
@@ -88,61 +98,65 @@ int main(int argc, char** argv) {
     text = kDefaultConfig;
   }
 
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   tbi::Json results;
+  tbi::sim::DsweepOptions dist;
+  bool interrupted = false;
   try {
     const tbi::Json config = tbi::Json::parse(text);
-    const auto symbols =
+    // Canonical job config for the "bandwidth" kernel: built from parsed
+    // values, never from the raw file text, so whitespace/key-order
+    // changes in the config file don't invalidate a resume manifest.
+    tbi::Json job;
+    job["symbols"] =
         static_cast<std::uint64_t>(config.get_or("symbols", 12'500'000.0));
-    const auto max_bursts =
-        static_cast<std::uint64_t>(config.get_or("max_bursts", 0.0));
-    const auto queue_depth =
-        static_cast<unsigned>(config.get_or("queue_depth", 64.0));
+    job["max_bursts"] = static_cast<std::uint64_t>(config.get_or("max_bursts", 0.0));
+    job["queue_depth"] = static_cast<std::uint64_t>(config.get_or("queue_depth", 64.0));
+    job["runs"] = config.at("runs");
+    const auto cells =
+        static_cast<std::uint64_t>(config.at("runs").as_array().size());
+
+    dist.workers = static_cast<unsigned>(cli.get_int("workers", 1));
+    dist.resume = cli.has("resume");
+    if (cli.has("output")) {
+      dist.manifest_path = cli.get("output", "") + ".manifest";
+    }
+    dist.cancel = &g_cancel;
+    dist.faults = tbi::sim::FaultSpec::from_env();
+
+    const auto run = tbi::sim::dsweep_run("bandwidth", job, cells, 0, dist);
+    interrupted = run.stats.interrupted;
 
     tbi::Json runs_out;
-    for (const auto& run_cfg : config.at("runs").as_array()) {
-      const std::string device_name = run_cfg.at("device").as_string();
-      const auto* device = tbi::dram::find_config(device_name);
-      if (device == nullptr) {
-        std::fprintf(stderr, "unknown device '%s'\n", device_name.c_str());
-        return 1;
-      }
-      tbi::sim::RunConfig rc;
-      rc.device = *device;
-      rc.mapping_spec = run_cfg.get_or("mapping", std::string("optimized"));
-      rc.side =
-          tbi::interleaver::burst_triangle_side(symbols, 3, device->burst_bytes);
-      rc.max_bursts_per_phase = max_bursts;
-      rc.controller.queue_depth = queue_depth;
-      if (run_cfg.get_or("refresh", std::string("default")) == "disabled") {
-        rc.controller.use_device_default_refresh = false;
-        rc.controller.refresh_mode = tbi::dram::RefreshMode::Disabled;
-      }
-      rc.check_protocol = run_cfg.get_or("check", false);
-
-      const auto run = tbi::sim::run_interleaver(rc);
-      tbi::Json r;
-      r["device"] = run.device_name;
-      r["mapping"] = run.mapping_name;
-      r["side_bursts"] = static_cast<std::int64_t>(rc.side);
-      r["write"] = phase_to_json(run.write, device->burst_bytes);
-      r["read"] = phase_to_json(run.read, device->burst_bytes);
-      r["min_utilization"] = run.min_utilization();
-      r["throughput_gbps"] = run.throughput_gbps(device->burst_bytes);
-      runs_out.push_back(r);
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      if (run.done[i]) runs_out.push_back(run.records[i]);
     }
     results["runs"] = runs_out;
-    results["symbols"] = static_cast<std::int64_t>(symbols);
+    results["symbols"] = job.at("symbols");
+    if (interrupted) results["interrupted"] = true;
+    if (dist.workers > 1) results["dsweep"] = run.stats.to_json();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "experiment failed: %s\n", e.what());
     return 1;
   }
 
-  const std::string out = results.dump(2) + "\n";
   if (cli.has("output")) {
-    std::ofstream f(cli.get("output", ""));
-    f << out;
-    return f ? 0 : 1;
+    if (!tbi::Json::write_file(cli.get("output", ""), results)) {
+      return 1;
+    }
+    if (!interrupted && !dist.manifest_path.empty()) {
+      std::remove(dist.manifest_path.c_str());
+    }
+  } else {
+    const std::string out = results.dump(2) + "\n";
+    std::fputs(out.c_str(), stdout);
   }
-  std::fputs(out.c_str(), stdout);
+  if (interrupted) {
+    std::fprintf(stderr, "interrupted: partial results%s\n",
+                 cli.has("output") ? "; rerun with --resume to finish" : "");
+    return 130;
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "common/fsio.hpp"
+
 namespace tbi {
 
 bool Json::as_bool() const {
@@ -369,22 +371,10 @@ std::string Json::dump(int indent) const {
 }
 
 bool Json::write_file(const std::string& path, const Json& doc, int indent) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
-    return false;
-  }
-  out << doc.dump(indent) << '\n';
-  // Checking good() before the buffer hits the file reports success on
-  // ENOSPC-style failures that only surface at flush/close time.
-  out.flush();
-  const bool ok = out.good();
-  out.close();
-  if (!ok || out.fail()) {
-    std::fprintf(stderr, "error: failed writing '%s'\n", path.c_str());
-    return false;
-  }
-  return true;
+  // Temp-file + rename: a bench killed mid-write (OOM, preemption, ^C)
+  // must never leave a truncated/corrupt committed document — either the
+  // previous file survives intact or the complete new one replaces it.
+  return write_file_atomic(path, doc.dump(indent) + '\n');
 }
 
 Json Json::read_file(const std::string& path) {

@@ -76,10 +76,11 @@ class Json {
   std::string dump(int indent = 0) const;
 
   /// Pretty-print \p doc (plus trailing newline) to \p path — the shared
-  /// sink of every bench's --json option. Returns false after printing an
-  /// error to stderr when the file cannot be opened or the write fails
-  /// (checked after flush and close, so ENOSPC-style late failures are
-  /// reported too).
+  /// sink of every bench's --json option. Crash-safe: the document is
+  /// written to a temp file in the same directory, fsynced, and renamed
+  /// into place, so a killed bench never leaves a truncated/corrupt
+  /// committed file. Returns false after printing an error to stderr when
+  /// any step fails (ENOSPC-style late failures included).
   static bool write_file(const std::string& path, const Json& doc, int indent = 2);
 
   /// Load and parse a JSON document from \p path. Throws JsonError when

@@ -1,0 +1,808 @@
+#include "sim/dsweep.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/wire.hpp"
+#include "perf/counters.hpp"
+#include "sim/manifest.hpp"
+
+namespace tbi::sim {
+
+namespace {
+
+using WStatus = wire::FrameReader::Status;
+
+std::mutex g_kernel_mutex;
+
+std::map<std::string, DsweepKernel>& kernel_map() {
+  static std::map<std::string, DsweepKernel> m;
+  return m;
+}
+
+DsweepKernel find_kernel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_kernel_mutex);
+  const auto it = kernel_map().find(name);
+  if (it == kernel_map().end()) {
+    throw std::invalid_argument("dsweep: unknown kernel '" + name + "'");
+  }
+  return it->second;
+}
+
+std::uint64_t parse_u64_str(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parent driver
+// ---------------------------------------------------------------------------
+
+struct WorkerSlot {
+  unsigned slot = 0;
+  pid_t pid = -1;
+  int fd = -1;
+  wire::FrameReader reader;
+  std::int64_t current = -1;  ///< in-flight cell, -1 when idle
+  std::uint64_t last_seen_ns = 0;
+  unsigned restarts = 0;
+  unsigned incarnation = 0;  ///< spawn count; faults ship to incarnation 1 only
+  std::uint64_t respawn_at_ns = 0;  ///< backoff deadline (0 = none scheduled)
+  bool alive = false;
+  bool retired = false;  ///< restart budget exhausted
+  std::uint64_t cells_completed = 0;
+};
+
+class Driver {
+ public:
+  Driver(std::string kernel_name, DsweepKernel kernel, const Json& job,
+         std::uint64_t cells, std::uint64_t base_seed, const DsweepOptions& options,
+         DsweepResult& result, std::uint64_t done_count, ManifestWriter& manifest)
+      : kernel_name_(std::move(kernel_name)),
+        kernel_(std::move(kernel)),
+        job_(job),
+        cells_(cells),
+        base_seed_(base_seed),
+        options_(options),
+        result_(result),
+        done_count_(done_count),
+        manifest_(manifest) {
+    abort_after_ = options_.faults.find(FaultAction::Kind::AbortAfterCells);
+  }
+
+  void run() {
+    for (std::uint64_t i = 0; i < cells_; ++i) {
+      if (!result_.done[i]) pending_.push_back(i);
+    }
+    const std::uint64_t remaining = pending_.size();
+
+    const bool multi_requested = options_.workers >= 2 && remaining >= 2;
+    bool multi = multi_requested &&
+                 options_.faults.find(FaultAction::Kind::SpawnFail) == nullptr;
+    if (multi) {
+      exe_ = self_exe();
+      multi = !exe_.empty();
+    }
+    if (multi) {
+      const auto want = static_cast<unsigned>(
+          std::min<std::uint64_t>(options_.workers, remaining));
+      slots_.resize(want);
+      unsigned spawned = 0;
+      for (unsigned s = 0; s < want; ++s) {
+        slots_[s].slot = s;
+        if (spawn(slots_[s])) {
+          ++spawned;
+        } else {
+          slots_[s].retired = true;
+        }
+      }
+      result_.stats.workers = spawned;
+      if (spawned > 0) {
+        event_loop();
+      }
+      cleanup_workers();
+      for (const auto& s : slots_) {
+        result_.stats.per_worker.push_back({s.slot, s.restarts, s.cells_completed});
+      }
+    }
+
+    if (cancelled()) interrupted_ = true;
+    if (!interrupted_ && kernel_error_.empty() && done_count_ < cells_) {
+      // Workers never spawned, died past their retry budgets, or were
+      // skipped: finish the remaining cells in this process.
+      result_.stats.degraded_inprocess = multi_requested;
+      local_run();
+    }
+    result_.stats.interrupted = interrupted_;
+    if (!kernel_error_.empty()) {
+      throw std::invalid_argument("dsweep: kernel failed: " + kernel_error_);
+    }
+  }
+
+ private:
+  bool cancelled() const { return options_.cancel != nullptr && *options_.cancel != 0; }
+
+  // --- shared commit path --------------------------------------------------
+
+  void commit(std::uint64_t cell, Json record) {
+    if (result_.done[cell]) return;  // reassigned cell raced its dead owner
+    result_.done[cell] = true;
+    result_.records[cell] = std::move(record);
+    ++done_count_;
+    ++committed_this_run_;
+    if (manifest_.is_open()) manifest_.append(cell, result_.records[cell]);
+    if (options_.progress) options_.progress({done_count_, cells_});
+    if (abort_after_ != nullptr && committed_this_run_ >= abort_after_->count) {
+      interrupted_ = true;  // injected preemption: stop as SIGINT would
+    }
+  }
+
+  // --- in-process executor -------------------------------------------------
+
+  void local_run() {
+    std::vector<std::uint64_t> todo;
+    for (std::uint64_t i = 0; i < cells_; ++i) {
+      if (!result_.done[i]) todo.push_back(i);
+    }
+    if (todo.empty()) return;
+    const unsigned threads = effective_threads(options_.threads, todo.size());
+    ThreadPool pool(threads);
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> stop{false};
+    std::mutex commit_mutex;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.submit([&] {
+        for (;;) {
+          if (stop.load(std::memory_order_relaxed) || cancelled()) return;
+          const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= todo.size()) return;
+          const std::uint64_t cell = todo[i];
+          Json record = kernel_(job_, cell, job_seed(base_seed_, cell));
+          std::lock_guard<std::mutex> lock(commit_mutex);
+          commit(cell, std::move(record));
+          if (interrupted_) stop.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    pool.wait_idle();  // rethrows deterministic kernel failures
+    if (cancelled()) interrupted_ = true;
+  }
+
+  // --- multi-process executor ----------------------------------------------
+
+  bool spawn(WorkerSlot& s) {
+    s.respawn_at_ns = 0;
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    // Parent end: close-on-exec (later spawns must not leak it into
+    // sibling workers) and nonblocking for the poll loop. The worker end
+    // stays inheritable — it must survive the exec.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
+    char fdbuf[16];
+    std::snprintf(fdbuf, sizeof fdbuf, "%d", sv[1]);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: async-signal-safe territory only until exec.
+      const char* argv[] = {exe_.c_str(), "--worker-fd", fdbuf, nullptr};
+      ::execv(exe_.c_str(), const_cast<char* const*>(argv));
+      ::_exit(127);
+    }
+    ::close(sv[1]);
+    s.pid = pid;
+    s.fd = sv[0];
+    s.alive = true;
+    s.reader = wire::FrameReader();
+    s.last_seen_ns = perf::now_ns();
+    ++s.incarnation;
+
+    Json cfg;
+    cfg["kernel"] = kernel_name_;
+    cfg["job"] = job_;
+    // Seeds are full-range u64; JSON numbers are doubles, so ship the
+    // seed as a decimal string to survive the round trip bit-exactly.
+    cfg["base_seed"] = std::to_string(base_seed_);
+    cfg["heartbeat_interval_ms"] =
+        static_cast<std::uint64_t>(options_.heartbeat_interval_ms);
+    // Injected faults hit a slot's first incarnation only: replacements
+    // run clean, so every injected failure converges to recovery.
+    cfg["faults"] = s.incarnation == 1 ? options_.faults.worker_actions_json(s.slot)
+                                       : Json(Json::Array{});
+    if (!wire::write_frame(s.fd, wire::FrameType::JobConfig, cfg.dump(0))) {
+      reap(s);
+      return false;
+    }
+    assign_next(s);
+    return true;
+  }
+
+  /// Kill + waitpid + close, no reassignment bookkeeping.
+  void reap(WorkerSlot& s) {
+    s.alive = false;
+    if (s.fd >= 0) {
+      ::close(s.fd);
+      s.fd = -1;
+    }
+    if (s.pid > 0) {
+      ::kill(s.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      s.pid = -1;
+    }
+  }
+
+  void fail_worker(WorkerSlot& s) {
+    if (!s.alive) return;
+    reap(s);
+    if (s.current >= 0) {
+      const auto cell = static_cast<std::uint64_t>(s.current);
+      if (!result_.done[cell]) {
+        pending_.push_front(cell);
+        ++result_.stats.cells_reassigned;
+      }
+      s.current = -1;
+    }
+    if (s.restarts >= options_.max_worker_restarts) {
+      s.retired = true;
+      return;
+    }
+    // Exponential backoff before the respawn: a worker dying instantly
+    // (bad node, OOM loop) must not turn the parent into a fork bomb.
+    const std::uint64_t delay_ms = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(options_.backoff_base_ms) << s.restarts, 10'000);
+    ++s.restarts;
+    ++result_.stats.worker_restarts;
+    s.respawn_at_ns = perf::now_ns() + delay_ms * 1'000'000ull;
+  }
+
+  void assign_next(WorkerSlot& s) {
+    if (!s.alive || s.current >= 0 || pending_.empty()) return;
+    const std::uint64_t cell = pending_.front();
+    pending_.pop_front();
+    s.current = static_cast<std::int64_t>(cell);
+    if (!wire::write_frame(s.fd, wire::FrameType::Assign, std::to_string(cell))) {
+      fail_worker(s);  // requeues the cell
+    }
+  }
+
+  void dispatch_pending() {
+    for (auto& s : slots_) {
+      if (pending_.empty()) return;
+      assign_next(s);
+    }
+  }
+
+  void handle_record(WorkerSlot& s, const wire::Frame& f) {
+    std::uint64_t cell = 0;
+    Json record;
+    try {
+      const Json v = Json::parse(f.payload_str());
+      cell = static_cast<std::uint64_t>(v.at("cell").as_double());
+      record = v.at("record");
+    } catch (const JsonError&) {
+      ++result_.stats.batches_rejected;
+      fail_worker(s);
+      return;
+    }
+    if (cell >= cells_) {
+      ++result_.stats.batches_rejected;
+      fail_worker(s);
+      return;
+    }
+    if (s.current == static_cast<std::int64_t>(cell)) s.current = -1;
+    ++s.cells_completed;
+    commit(cell, std::move(record));
+    if (!interrupted_) assign_next(s);
+  }
+
+  void service(WorkerSlot& s) {
+    const WStatus pumped = s.reader.pump(s.fd);
+    for (;;) {
+      wire::Frame f;
+      const WStatus st = s.reader.next(&f);
+      if (st == WStatus::Frame) {
+        s.last_seen_ns = perf::now_ns();
+        if (f.type == wire::FrameType::Record) {
+          handle_record(s, f);
+        } else if (f.type == wire::FrameType::Error) {
+          // Deterministic kernel failure (bad config): retrying cannot
+          // help, abort the whole run with the worker's message.
+          kernel_error_ = f.payload_str();
+          return;
+        }
+        // Heartbeats only refresh last_seen.
+        if (!s.alive || interrupted_) return;
+        continue;
+      }
+      if (st == WStatus::Corrupt) {
+        ++result_.stats.batches_rejected;
+        fail_worker(s);
+        return;
+      }
+      break;  // NeedMore
+    }
+    if (pumped == WStatus::Eof && s.alive) fail_worker(s);
+  }
+
+  void event_loop() {
+    const std::uint64_t hb_timeout_ns =
+        static_cast<std::uint64_t>(options_.heartbeat_timeout_ms) * 1'000'000ull;
+    const int tick_ms = static_cast<int>(
+        std::max(10u, std::min(options_.heartbeat_interval_ms, 200u)));
+
+    while (done_count_ < cells_ && !interrupted_ && kernel_error_.empty()) {
+      if (cancelled()) {
+        interrupted_ = true;
+        break;
+      }
+      const std::uint64_t now = perf::now_ns();
+
+      // Respawns whose backoff expired.
+      for (auto& s : slots_) {
+        if (!s.alive && !s.retired && s.respawn_at_ns != 0 && now >= s.respawn_at_ns) {
+          if (!spawn(s)) s.retired = true;
+        }
+      }
+      dispatch_pending();
+
+      std::vector<struct pollfd> fds;
+      std::vector<WorkerSlot*> owners;
+      std::uint64_t earliest_respawn = 0;
+      for (auto& s : slots_) {
+        if (s.alive) {
+          fds.push_back({s.fd, POLLIN, 0});
+          owners.push_back(&s);
+        } else if (!s.retired && s.respawn_at_ns != 0) {
+          if (earliest_respawn == 0 || s.respawn_at_ns < earliest_respawn) {
+            earliest_respawn = s.respawn_at_ns;
+          }
+        }
+      }
+      if (fds.empty()) {
+        if (earliest_respawn == 0) break;  // everyone retired: degrade
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint64_t>(
+                (std::max(earliest_respawn, now) - now) / 1'000'000ull + 1, 50)));
+        continue;
+      }
+
+      const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), tick_ms);
+      if (ready > 0) {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            service(*owners[i]);
+            if (interrupted_ || !kernel_error_.empty()) break;
+          }
+        }
+      }
+
+      const std::uint64_t scan = perf::now_ns();
+      for (auto& s : slots_) {
+        if (s.alive && scan - s.last_seen_ns > hb_timeout_ns) {
+          // Hung worker: no records and no heartbeats for the whole
+          // window. SIGKILL and recover — a stuck cell must not stall
+          // the grid forever.
+          ++result_.stats.heartbeat_timeouts;
+          fail_worker(s);
+        }
+      }
+    }
+  }
+
+  void cleanup_workers() {
+    for (auto& s : slots_) {
+      if (!s.alive) continue;
+      wire::write_frame(s.fd, wire::FrameType::Done, "");  // best effort
+      reap(s);
+    }
+  }
+
+  const std::string kernel_name_;
+  const DsweepKernel kernel_;
+  const Json& job_;
+  const std::uint64_t cells_;
+  const std::uint64_t base_seed_;
+  const DsweepOptions& options_;
+  DsweepResult& result_;
+  std::uint64_t done_count_;
+  std::uint64_t committed_this_run_ = 0;
+  ManifestWriter& manifest_;
+  const FaultAction* abort_after_ = nullptr;
+  std::deque<std::uint64_t> pending_;
+  std::vector<WorkerSlot> slots_;
+  std::string exe_;
+  std::string kernel_error_;
+  bool interrupted_ = false;
+};
+
+}  // namespace
+
+void dsweep_register_kernel(const std::string& name, DsweepKernel kernel) {
+  std::lock_guard<std::mutex> lock(g_kernel_mutex);
+  kernel_map()[name] = std::move(kernel);
+}
+
+Json DsweepStats::to_json() const {
+  Json j;
+  j["workers"] = static_cast<std::uint64_t>(workers);
+  j["worker_restarts"] = static_cast<std::uint64_t>(worker_restarts);
+  j["heartbeat_timeouts"] = static_cast<std::uint64_t>(heartbeat_timeouts);
+  j["batches_rejected"] = static_cast<std::uint64_t>(batches_rejected);
+  j["cells_reassigned"] = cells_reassigned;
+  j["resumed_cells"] = resumed_cells;
+  j["degraded_inprocess"] = degraded_inprocess;
+  j["interrupted"] = interrupted;
+  Json::Array per;
+  for (const auto& w : per_worker) {
+    Json e;
+    e["slot"] = static_cast<std::uint64_t>(w.slot);
+    e["restarts"] = static_cast<std::uint64_t>(w.restarts);
+    e["cells_completed"] = w.cells_completed;
+    per.push_back(e);
+  }
+  j["per_worker"] = Json(per);
+  return j;
+}
+
+DsweepResult dsweep_run(const std::string& kernel, const Json& job,
+                        std::uint64_t cells, std::uint64_t base_seed,
+                        const DsweepOptions& options) {
+  dsweep_register_builtin_kernels();
+  DsweepKernel fn = find_kernel(kernel);
+
+  DsweepResult result;
+  result.records.resize(cells);
+  result.done.assign(cells, false);
+
+  const std::string fingerprint = sweep_fingerprint(kernel, job, cells, base_seed);
+  ManifestWriter manifest;
+  std::uint64_t done_count = 0;
+  if (!options.manifest_path.empty()) {
+    bool fresh = true;
+    if (options.resume) {
+      const auto load = load_manifest(options.manifest_path, fingerprint);
+      if (load.found && !load.fingerprint_ok) {
+        throw std::runtime_error(
+            "dsweep: manifest '" + options.manifest_path +
+            "' was written by a different run (grid/seed/config changed); "
+            "delete it or drop --resume");
+      }
+      if (load.found && load.fingerprint_ok) {
+        fresh = false;
+        for (const auto& e : load.entries) {
+          if (e.cell < cells && !result.done[e.cell]) {
+            result.done[e.cell] = true;
+            result.records[e.cell] = e.record;
+            ++done_count;
+            ++result.stats.resumed_cells;
+          }
+        }
+      }
+    }
+    // A manifest that cannot be opened disables checkpointing (the error
+    // is printed) but never blocks the sweep itself.
+    manifest.open(options.manifest_path, fingerprint, fresh);
+    if (options.progress && done_count > 0) {
+      options.progress({done_count, cells});
+    }
+  }
+
+  if (cells == 0 || done_count == cells) return result;
+
+  Driver driver(kernel, std::move(fn), job, cells, base_seed, options, result,
+                done_count, manifest);
+  driver.run();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Worker entry points
+// ---------------------------------------------------------------------------
+
+int dsweep_worker_fd(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--worker-fd" && i + 1 < argc) return std::atoi(argv[i + 1]);
+    if (arg.rfind("--worker-fd=", 0) == 0) return std::atoi(arg.c_str() + 12);
+  }
+  return -1;
+}
+
+int dsweep_worker_main(int fd) {
+  dsweep_register_builtin_kernels();
+  wire::FrameReader reader;
+  wire::Frame frame;
+  if (wire::read_frame(fd, reader, &frame) != WStatus::Frame ||
+      frame.type != wire::FrameType::JobConfig) {
+    return 2;
+  }
+
+  DsweepKernel kernel;
+  Json job;
+  std::uint64_t base_seed = 0;
+  unsigned hb_ms = 250;
+  std::vector<FaultAction> faults;
+  try {
+    const Json cfg = Json::parse(frame.payload_str());
+    job = cfg.at("job");
+    base_seed = parse_u64_str(cfg.at("base_seed").as_string());
+    hb_ms = static_cast<unsigned>(cfg.at("heartbeat_interval_ms").as_double());
+    faults = FaultSpec::worker_actions_from_json(cfg.at("faults"));
+    kernel = find_kernel(cfg.at("kernel").as_string());
+  } catch (const std::exception& e) {
+    wire::write_frame(fd, wire::FrameType::Error, e.what());
+    return 2;
+  }
+  const auto fault = [&faults](FaultAction::Kind kind) -> const FaultAction* {
+    for (const auto& a : faults) {
+      if (a.kind == kind) return &a;
+    }
+    return nullptr;
+  };
+
+  // Heartbeat thread: liveness signal decoupled from cell completion, so
+  // the parent can tell "slow cell" from "hung worker". Serialized with
+  // record writes — interleaving two frames would corrupt the stream.
+  std::mutex write_mutex;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stall{false};
+  std::thread heartbeat([&] {
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::max(hb_ms, 1u)));
+      if (stop.load() || stall.load()) continue;
+      std::lock_guard<std::mutex> lock(write_mutex);
+      if (!wire::write_frame(fd, wire::FrameType::Heartbeat, "")) return;
+    }
+  });
+
+  std::uint64_t cells_done = 0;
+  std::uint64_t batches_sent = 0;
+  int rc = 0;
+  for (;;) {
+    const WStatus st = wire::read_frame(fd, reader, &frame);
+    if (st != WStatus::Frame) {
+      rc = st == WStatus::Eof ? 0 : 1;  // parent is gone
+      break;
+    }
+    if (frame.type == wire::FrameType::Done) break;
+    if (frame.type != wire::FrameType::Assign) {
+      rc = 2;
+      break;
+    }
+    const std::uint64_t cell = parse_u64_str(frame.payload_str());
+
+    Json record;
+    try {
+      record = kernel(job, cell, job_seed(base_seed, cell));
+    } catch (const std::exception& e) {
+      Json err;
+      err["cell"] = cell;
+      err["error"] = std::string(e.what());
+      std::lock_guard<std::mutex> lock(write_mutex);
+      wire::write_frame(fd, wire::FrameType::Error, err.dump(0));
+      continue;  // parent aborts the run on Error; stay responsive meanwhile
+    }
+    ++cells_done;
+
+    Json out;
+    out["cell"] = cell;
+    out["record"] = record;
+    auto bytes = wire::encode_frame(wire::FrameType::Record, out.dump(0));
+    ++batches_sent;
+
+    // --- injected batch faults --------------------------------------------
+    if (const auto* a = fault(FaultAction::Kind::DelayBatch);
+        a != nullptr && batches_sent == a->count) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(a->delay_ms));
+    }
+    if (const auto* a = fault(FaultAction::Kind::CorruptBatch);
+        a != nullptr && batches_sent == a->count) {
+      // Flip one payload byte after the CRC was computed: the parent must
+      // reject the batch, not merge garbage.
+      bytes[wire::kHeaderBytes + (bytes.size() - wire::kHeaderBytes) / 2] ^= 0x5A;
+    }
+    if (const auto* a = fault(FaultAction::Kind::TruncateBatch);
+        a != nullptr && batches_sent == a->count) {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      wire::write_all(fd, bytes.data(), bytes.size() / 2);
+      std::_Exit(3);
+    }
+    {
+      std::lock_guard<std::mutex> lock(write_mutex);
+      if (!wire::write_all(fd, bytes.data(), bytes.size())) {
+        rc = 1;
+        break;
+      }
+    }
+    if (const auto* a = fault(FaultAction::Kind::KillAfterCells);
+        a != nullptr && cells_done == a->count) {
+      std::_Exit(4);  // hard crash, no cleanup — the recovery path's job
+    }
+    if (const auto* a = fault(FaultAction::Kind::StallAfterCells);
+        a != nullptr && cells_done == a->count) {
+      stall.store(true);  // heartbeats stop; hang until the parent SIGKILLs us
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  }
+  stop.store(true);
+  heartbeat.join();
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// FER sweeps on the distributed backend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json string_array(const std::vector<std::string>& v) {
+  Json::Array arr;
+  for (const auto& s : v) arr.push_back(Json(s));
+  return Json(std::move(arr));
+}
+
+template <typename T>
+Json number_array(const std::vector<T>& v) {
+  Json::Array arr;
+  for (const T x : v) arr.push_back(Json(static_cast<std::uint64_t>(x)));
+  return Json(std::move(arr));
+}
+
+}  // namespace
+
+Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options) {
+  Json g;
+  g["devices"] = string_array(grid.devices);
+  g["mapping_specs"] = string_array(grid.mapping_specs);
+  g["interleavers"] = string_array(grid.interleavers);
+  g["channels"] = string_array(grid.channels);
+  g["rs_ks"] = number_array(grid.rs_ks);
+  g["symbols_per_bursts"] = number_array(grid.symbols_per_bursts);
+
+  const PipelineConfig& b = options.base;
+  Json base;
+  base["interleaver"] = b.interleaver;
+  base["channel"] = b.channel;
+  base["rs_n"] = static_cast<std::uint64_t>(b.rs_n);
+  base["rs_k"] = static_cast<std::uint64_t>(b.rs_k);
+  base["frames"] = static_cast<std::uint64_t>(b.frames);
+  base["side"] = b.side;
+  base["symbols_per_burst"] = b.symbols_per_burst;
+  base["stream_chunk_symbols"] = b.stream_chunk_symbols;
+  base["error_probability"] = b.error_probability;
+  base["fade_fraction"] = b.fade_fraction;
+  base["mean_burst_symbols"] = b.mean_burst_symbols;
+  base["error_rate_bad"] = b.error_rate_bad;
+  base["run_dram"] = b.run_dram;
+  // Workers rebuild the device from the standard-config table; custom
+  // DeviceConfigs can't ride the wire (grids name their devices anyway).
+  base["device"] = b.device.name;
+  base["mapping_spec"] = b.mapping_spec;
+  base["dram_max_bursts_per_phase"] = b.dram_max_bursts_per_phase;
+  base["check_protocol"] = b.check_protocol;
+
+  Json job;
+  job["grid"] = g;
+  job["base"] = base;
+  return job;
+}
+
+Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result) {
+  Json sc;
+  sc["device"] = scenario.device;
+  sc["mapping_spec"] = scenario.mapping_spec;
+  sc["interleaver"] = scenario.interleaver;
+  sc["channel"] = scenario.channel;
+  sc["rs_k"] = static_cast<std::uint64_t>(scenario.rs_k);
+  sc["symbols_per_burst"] = scenario.symbols_per_burst;
+
+  Json r;
+  r["frames"] = result.frames;
+  r["code_words"] = result.code_words;
+  r["word_errors"] = result.word_errors;
+  r["frame_errors"] = result.frame_errors;
+  r["channel_symbol_errors"] = result.channel_symbol_errors;
+  r["corrected_symbols"] = result.corrected_symbols;
+  r["frame_symbols"] = result.frame_symbols;
+  r["workspace_peak_bytes"] = result.workspace_peak_bytes;
+  r["host_ns"] = result.host_ns;
+  r["steady_allocations"] = result.steady_allocations;
+  r["steady_frames"] = result.steady_frames;
+  r["channel_symbols"] = result.channel_symbols;
+  r["dram_ran"] = result.dram_ran;
+  if (result.dram_ran) {
+    r["dram_throughput_gbps"] = result.dram_throughput_gbps;
+    r["dram_bursts"] = result.dram.total_bursts();
+    r["dram_sched_ns_per_pick"] = result.dram.sched_ns_per_pick();
+  }
+
+  Json j;
+  j["scenario"] = sc;
+  j["result"] = r;
+  return j;
+}
+
+FerCell fer_cell_from_json(const Json& record) {
+  const Json& sc = record.at("scenario");
+  const Json& r = record.at("result");
+  FerCell cell;
+  cell.scenario.device = sc.at("device").as_string();
+  cell.scenario.mapping_spec = sc.at("mapping_spec").as_string();
+  cell.scenario.interleaver = sc.at("interleaver").as_string();
+  cell.scenario.channel = sc.at("channel").as_string();
+  cell.scenario.rs_k = static_cast<unsigned>(sc.at("rs_k").as_double());
+  cell.scenario.symbols_per_burst =
+      static_cast<std::uint64_t>(sc.at("symbols_per_burst").as_double());
+
+  const auto u64 = [&r](const char* key) {
+    return static_cast<std::uint64_t>(r.at(key).as_double());
+  };
+  cell.result.frames = u64("frames");
+  cell.result.code_words = u64("code_words");
+  cell.result.word_errors = u64("word_errors");
+  cell.result.frame_errors = u64("frame_errors");
+  cell.result.channel_symbol_errors = u64("channel_symbol_errors");
+  cell.result.corrected_symbols = u64("corrected_symbols");
+  cell.result.frame_symbols = u64("frame_symbols");
+  cell.result.workspace_peak_bytes = u64("workspace_peak_bytes");
+  cell.result.host_ns = u64("host_ns");
+  cell.result.steady_allocations = u64("steady_allocations");
+  cell.result.steady_frames = u64("steady_frames");
+  cell.result.channel_symbols = u64("channel_symbols");
+  cell.result.dram_ran = r.at("dram_ran").as_bool();
+  if (cell.result.dram_ran) {
+    cell.result.dram_throughput_gbps = r.at("dram_throughput_gbps").as_double();
+    cell.dram_bursts = u64("dram_bursts");
+    cell.dram_sched_ns_per_pick = r.at("dram_sched_ns_per_pick").as_double();
+  }
+  return cell;
+}
+
+FerDistResult run_fer_sweep_dist(const SweepGrid& grid, const FerSweepOptions& options,
+                                 DsweepOptions dist) {
+  dist.threads = options.sweep.threads;
+  const Json job = fer_job_config(grid, options);
+  DsweepResult res =
+      dsweep_run("fer", job, grid.size(), options.sweep.base_seed, dist);
+
+  FerDistResult out;
+  out.done = std::move(res.done);
+  out.stats = std::move(res.stats);
+  out.cells.resize(res.records.size());
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    if (out.done[i]) out.cells[i] = fer_cell_from_json(res.records[i]);
+  }
+  return out;
+}
+
+}  // namespace tbi::sim

@@ -1,0 +1,167 @@
+/// \file dsweep.hpp
+/// Fault-tolerant multi-process sweep backend.
+///
+/// `sweep_map` shards a grid across threads of one process; this backend
+/// shards it across N worker *processes*, each a re-invocation of the
+/// current binary with `--worker-fd` (the Mu2e DAQ shape: N independent
+/// links with per-link state feeding one merge). The parent assigns cells
+/// one at a time over a socketpair, workers stream length-prefixed,
+/// CRC-checked record batches back (common/wire.hpp), and the parent
+/// merges them **by cell index**, so the result vector is byte-identical
+/// to the single-process order no matter how cells land on workers —
+/// every cell's seed is `job_seed(base_seed, index)`, exactly as in
+/// `sweep_map`, which stays the in-process fallback with unchanged
+/// semantics.
+///
+/// Failure model (all paths exercised deterministically via
+/// sim/fault.hpp):
+///  * crashed worker (exit/kill): EOF on the socket -> its in-flight cell
+///    is reassigned, the slot respawns with exponential backoff up to a
+///    bounded retry budget;
+///  * hung worker: heartbeat frames stop -> SIGKILL after the heartbeat
+///    timeout, then the same reassign/respawn path;
+///  * corrupt or truncated batch: CRC/framing failure -> the batch is
+///    rejected and the worker discarded (never merged);
+///  * workers cannot spawn at all (or every retry budget is exhausted):
+///    graceful degradation to in-process execution of the remaining
+///    cells on a thread pool;
+///  * parent preemption (SIGINT/SIGTERM or injected abort): completed
+///    cells are already in the append-fsync manifest
+///    (sim/manifest.hpp); `resume` skips them on the next run.
+///
+/// Work is expressed as a **kernel**: a named, deterministic function
+/// (job config JSON, cell index, per-cell seed) -> record JSON. Kernels
+/// must be registered in both the parent and the re-exec'd worker binary
+/// (built-ins via dsweep_register_builtin_kernels, test kernels in the
+/// test main). The multi-process path ships the job config as JSON, so
+/// kernels must be reconstructible from it — e.g. the "fer" kernel
+/// addresses DRAM devices by standard-config name.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/fault.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/sweep.hpp"
+
+namespace tbi::sim {
+
+/// A sweep kernel: deterministic (job, index, seed) -> record. Runs on
+/// parent threads (in-process mode) or inside worker processes.
+using DsweepKernel =
+    std::function<Json(const Json& job, std::uint64_t index, std::uint64_t seed)>;
+
+/// Register \p kernel under \p name (replaces an existing registration).
+void dsweep_register_kernel(const std::string& name, DsweepKernel kernel);
+
+/// Register the built-in kernels ("fer", "bandwidth"); idempotent, called
+/// automatically by dsweep_run and dsweep_worker_main.
+void dsweep_register_builtin_kernels();
+
+struct DsweepOptions {
+  /// Worker processes; <= 1 runs in-process on `threads` threads. The
+  /// effective count is clamped to the number of outstanding cells.
+  unsigned workers = 1;
+  unsigned threads = 0;  ///< in-process executor threads (0 = all cores)
+  bool resume = false;   ///< load the manifest and skip recorded cells
+  /// Checkpoint journal path (conventionally `<json-sink>.manifest`);
+  /// empty disables checkpointing and resume.
+  std::string manifest_path;
+  unsigned max_worker_restarts = 3;    ///< respawn budget per worker slot
+  unsigned heartbeat_interval_ms = 250;
+  unsigned heartbeat_timeout_ms = 5000;
+  unsigned backoff_base_ms = 100;      ///< respawn delay, doubled per restart
+  FaultSpec faults;                    ///< injected faults (tests / CI)
+  /// Cooperative cancellation (SIGINT/SIGTERM handler flag): checked
+  /// between cells; a set flag stops assignment, flushes the manifest and
+  /// returns the completed prefix with stats.interrupted set.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+  std::function<void(const SweepProgress&)> progress;  ///< optional
+};
+
+struct DsweepWorkerStats {
+  unsigned slot = 0;
+  unsigned restarts = 0;            ///< respawns of this slot
+  std::uint64_t cells_completed = 0;
+};
+
+struct DsweepStats {
+  unsigned workers = 0;             ///< processes spawned initially
+  unsigned worker_restarts = 0;     ///< total respawns across slots
+  unsigned heartbeat_timeouts = 0;  ///< hung workers detected and killed
+  unsigned batches_rejected = 0;    ///< corrupt/truncated record batches
+  std::uint64_t cells_reassigned = 0;
+  std::uint64_t resumed_cells = 0;  ///< cells loaded from the manifest
+  bool degraded_inprocess = false;  ///< fell back to in-process execution
+  bool interrupted = false;         ///< stopped by cancel/abort, result partial
+  std::vector<DsweepWorkerStats> per_worker;
+
+  Json to_json() const;
+};
+
+struct DsweepResult {
+  /// Record per cell, index-ordered. On an interrupted run only the
+  /// completed cells are non-null (`done[i]` tells them apart).
+  std::vector<Json> records;
+  std::vector<bool> done;
+  DsweepStats stats;
+};
+
+/// Run \p cells cells of \p kernel over the configured backend. Throws
+/// std::invalid_argument for unknown kernels / deterministic kernel
+/// failures and std::runtime_error when a resume manifest does not match
+/// this run's fingerprint.
+DsweepResult dsweep_run(const std::string& kernel, const Json& job,
+                        std::uint64_t cells, std::uint64_t base_seed,
+                        const DsweepOptions& options);
+
+// ---------------------------------------------------------------------------
+// Worker entry points
+// ---------------------------------------------------------------------------
+
+/// Detect the worker re-invocation: returns the inherited socket fd when
+/// argv contains `--worker-fd N` (or `--worker-fd=N`), else -1. Call this
+/// FIRST in main(), before any CLI parsing.
+int dsweep_worker_fd(int argc, const char* const* argv);
+
+/// Worker protocol loop on \p fd; returns the process exit code.
+int dsweep_worker_main(int fd);
+
+// ---------------------------------------------------------------------------
+// FER sweeps on the distributed backend
+// ---------------------------------------------------------------------------
+
+/// One merged FER cell. `result.dram` is not populated on this path (the
+/// wire format carries the derived DRAM metrics instead).
+struct FerCell {
+  Scenario scenario;
+  PipelineResult result;
+  std::uint64_t dram_bursts = 0;
+  double dram_sched_ns_per_pick = 0;
+};
+
+struct FerDistResult {
+  std::vector<FerCell> cells;  ///< index-ordered; valid where done[i]
+  std::vector<bool> done;
+  DsweepStats stats;
+};
+
+/// The "fer" kernel's job config for this grid + options.
+Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options);
+
+/// Wire-format conversions for one FER cell record.
+Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result);
+FerCell fer_cell_from_json(const Json& record);
+
+/// run_fer_sweep on the distributed backend: same grid semantics, same
+/// per-cell seeds, records merged in single-process order. `dist.threads`
+/// is taken from `options.sweep.threads`.
+FerDistResult run_fer_sweep_dist(const SweepGrid& grid, const FerSweepOptions& options,
+                                 DsweepOptions dist);
+
+}  // namespace tbi::sim

@@ -1,0 +1,157 @@
+/// \file dsweep_kernels.cpp
+/// Built-in dsweep kernels. Each is a pure function of (job JSON, cell
+/// index, seed) so it can run identically on a parent thread or inside a
+/// re-exec'd worker process — anything the cell needs must be
+/// reconstructible from the job config (devices travel by standard-config
+/// name, never by value).
+#include <mutex>
+#include <stdexcept>
+
+#include "dram/standards.hpp"
+#include "fec/reed_solomon.hpp"
+#include "interleaver/streams.hpp"
+#include "sim/dsweep.hpp"
+#include "sim/runner.hpp"
+
+namespace tbi::sim {
+
+namespace {
+
+std::vector<std::string> string_axis(const Json& grid, const std::string& key) {
+  std::vector<std::string> out;
+  for (const auto& v : grid.at(key).as_array()) out.push_back(v.as_string());
+  return out;
+}
+
+SweepGrid grid_from_json(const Json& g) {
+  SweepGrid grid;
+  grid.devices = string_axis(g, "devices");
+  grid.mapping_specs = string_axis(g, "mapping_specs");
+  grid.interleavers = string_axis(g, "interleavers");
+  grid.channels = string_axis(g, "channels");
+  grid.rs_ks.clear();
+  for (const auto& v : g.at("rs_ks").as_array()) {
+    grid.rs_ks.push_back(static_cast<unsigned>(v.as_double()));
+  }
+  grid.symbols_per_bursts.clear();
+  for (const auto& v : g.at("symbols_per_bursts").as_array()) {
+    grid.symbols_per_bursts.push_back(static_cast<std::uint64_t>(v.as_double()));
+  }
+  return grid;
+}
+
+PipelineConfig base_from_json(const Json& b) {
+  PipelineConfig base;
+  base.interleaver = b.at("interleaver").as_string();
+  base.channel = b.at("channel").as_string();
+  base.rs_n = static_cast<unsigned>(b.at("rs_n").as_double());
+  base.rs_k = static_cast<unsigned>(b.at("rs_k").as_double());
+  base.frames = static_cast<unsigned>(b.at("frames").as_double());
+  base.side = static_cast<std::uint64_t>(b.at("side").as_double());
+  base.symbols_per_burst =
+      static_cast<std::uint64_t>(b.at("symbols_per_burst").as_double());
+  base.stream_chunk_symbols =
+      static_cast<std::uint64_t>(b.at("stream_chunk_symbols").as_double());
+  base.error_probability = b.at("error_probability").as_double();
+  base.fade_fraction = b.at("fade_fraction").as_double();
+  base.mean_burst_symbols = b.at("mean_burst_symbols").as_double();
+  base.error_rate_bad = b.at("error_rate_bad").as_double();
+  base.run_dram = b.at("run_dram").as_bool();
+  base.mapping_spec = b.at("mapping_spec").as_string();
+  base.dram_max_bursts_per_phase =
+      static_cast<std::uint64_t>(b.at("dram_max_bursts_per_phase").as_double());
+  base.check_protocol = b.at("check_protocol").as_bool();
+  const std::string device_name = b.at("device").as_string();
+  if (!device_name.empty()) {
+    const auto* device = dram::find_config(device_name);
+    if (device == nullptr) {
+      throw std::invalid_argument("fer kernel: unknown base device '" +
+                                  device_name + "'");
+    }
+    base.device = *device;
+  }
+  return base;
+}
+
+/// "fer": one cell of a FER sweep. Mirrors run_fer_sweep's per-cell body
+/// exactly (fer_cell_config is shared), so the distributed path produces
+/// byte-identical records.
+Json fer_kernel(const Json& job, std::uint64_t index, std::uint64_t seed) {
+  const SweepGrid grid = grid_from_json(job.at("grid"));
+  const PipelineConfig base = base_from_json(job.at("base"));
+  const Scenario scenario = grid.cell(index);
+  if (base.rs_n > 255 || scenario.rs_k == 0 || scenario.rs_k >= base.rs_n ||
+      (base.rs_n - scenario.rs_k) % 2 != 0) {
+    throw std::invalid_argument("fer kernel: invalid RS(n, k)");
+  }
+  const PipelineConfig config = fer_cell_config(base, scenario, seed);
+  const fec::ReedSolomon rs(config.rs_n, config.rs_k);
+  return fer_cell_to_json(scenario, run_pipeline(config, rs));
+}
+
+/// "bandwidth": one run of an experiment_runner batch. Deterministic DRAM
+/// phases only — the seed is unused. Job config mirrors the runner's file
+/// format: {"symbols", "max_bursts", "queue_depth", "runs": [...]}; the
+/// cell index selects the run.
+Json bandwidth_kernel(const Json& job, std::uint64_t index, std::uint64_t) {
+  const auto& runs = job.at("runs").as_array();
+  if (index >= runs.size()) {
+    throw std::invalid_argument("bandwidth kernel: run index out of range");
+  }
+  const Json& run_cfg = runs[static_cast<std::size_t>(index)];
+  const auto symbols = static_cast<std::uint64_t>(job.get_or("symbols", 12'500'000.0));
+
+  const std::string device_name = run_cfg.at("device").as_string();
+  const auto* device = dram::find_config(device_name);
+  if (device == nullptr) {
+    throw std::invalid_argument("bandwidth kernel: unknown device '" +
+                                device_name + "'");
+  }
+  RunConfig rc;
+  rc.device = *device;
+  rc.mapping_spec = run_cfg.get_or("mapping", std::string("optimized"));
+  rc.side = interleaver::burst_triangle_side(symbols, 3, device->burst_bytes);
+  rc.max_bursts_per_phase = static_cast<std::uint64_t>(job.get_or("max_bursts", 0.0));
+  rc.controller.queue_depth =
+      static_cast<unsigned>(job.get_or("queue_depth", 64.0));
+  if (run_cfg.get_or("refresh", std::string("default")) == "disabled") {
+    rc.controller.use_device_default_refresh = false;
+    rc.controller.refresh_mode = dram::RefreshMode::Disabled;
+  }
+  rc.check_protocol = run_cfg.get_or("check", false);
+
+  const InterleaverRun run = run_interleaver(rc);
+  const auto phase_json = [burst_bytes = device->burst_bytes](const PhaseResult& p) {
+    Json j;
+    j["utilization"] = p.stats.utilization();
+    j["bandwidth_gbps"] = p.stats.bandwidth_gbps(burst_bytes);
+    j["bursts"] = p.stats.bursts;
+    j["activates"] = p.stats.activates;
+    j["row_hit_rate"] = p.stats.row_hit_rate();
+    j["refreshes"] = p.stats.refreshes;
+    j["elapsed_us"] = static_cast<double>(p.stats.elapsed()) / 1e6;
+    j["energy_nj"] = p.energy.total_nj();
+    return j;
+  };
+  Json r;
+  r["device"] = run.device_name;
+  r["mapping"] = run.mapping_name;
+  r["side_bursts"] = rc.side;
+  r["write"] = phase_json(run.write);
+  r["read"] = phase_json(run.read);
+  r["min_utilization"] = run.min_utilization();
+  r["throughput_gbps"] = run.throughput_gbps(device->burst_bytes);
+  return r;
+}
+
+}  // namespace
+
+void dsweep_register_builtin_kernels() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    dsweep_register_kernel("fer", fer_kernel);
+    dsweep_register_kernel("bandwidth", bandwidth_kernel);
+  });
+}
+
+}  // namespace tbi::sim

@@ -1,0 +1,77 @@
+/// \file fault.hpp
+/// Deterministic fault injection for the distributed sweep backend.
+///
+/// Recovery paths that only run when hardware misbehaves are recovery
+/// paths that have never run. This layer turns every failure mode the
+/// dsweep parent must survive — a worker crashing mid-grid, a hung
+/// worker that stops heartbeating, a corrupted or truncated record
+/// batch, a preempted parent — into a scriptable, reproducible event
+/// driven by the `TBI_FAULT_INJECT` environment variable (or a parsed
+/// spec in tests).
+///
+/// Spec grammar: comma-separated actions, each `name=COUNT[@SLOT]`
+/// (SLOT defaults to 0; parent-side actions ignore it):
+///
+///   kill-after=K[@s]      worker slot s exits hard after its Kth cell
+///   stall-after=K[@s]     worker hangs (heartbeats stop) after K cells
+///   corrupt-batch=K[@s]   worker flips a byte in its Kth record batch
+///   truncate-batch=K[@s]  worker writes half its Kth batch, then exits
+///   delay-batch=K:MS[@s]  worker sleeps MS ms before its Kth batch
+///   abort-after=K         parent stops after K committed cells, as if
+///                         preempted (manifest flushed, exit via the
+///                         interrupted path) — the `--resume` test hook
+///   spawn-fail            parent pretends workers cannot spawn
+///                         (exercises in-process degradation)
+///
+/// Faults are delivered to a worker slot's *first* incarnation only:
+/// respawned replacements run clean, so every injected failure converges
+/// to a recovered run instead of a crash loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace tbi::sim {
+
+struct FaultAction {
+  enum class Kind {
+    KillAfterCells,
+    StallAfterCells,
+    CorruptBatch,
+    TruncateBatch,
+    DelayBatch,
+    AbortAfterCells,
+    SpawnFail,
+  };
+  Kind kind = Kind::SpawnFail;
+  std::uint64_t count = 0;  ///< cells/batches before the fault fires
+  unsigned slot = 0;        ///< worker slot (parent actions ignore it)
+  unsigned delay_ms = 0;    ///< DelayBatch only
+};
+
+struct FaultSpec {
+  std::vector<FaultAction> actions;
+
+  bool empty() const { return actions.empty(); }
+
+  /// Parse the spec grammar above; throws std::invalid_argument on
+  /// malformed input (an unreadable fault spec must fail loudly, not
+  /// silently test nothing).
+  static FaultSpec parse(const std::string& spec);
+
+  /// Parse `TBI_FAULT_INJECT` (empty spec when unset).
+  static FaultSpec from_env();
+
+  /// Worker-side actions addressed to \p slot, serialized for the
+  /// job-config frame.
+  Json worker_actions_json(unsigned slot) const;
+  static std::vector<FaultAction> worker_actions_from_json(const Json& arr);
+
+  /// First action of \p kind, or nullptr.
+  const FaultAction* find(FaultAction::Kind kind) const;
+};
+
+}  // namespace tbi::sim

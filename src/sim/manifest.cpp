@@ -1,0 +1,96 @@
+#include "sim/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace tbi::sim {
+
+namespace {
+
+/// FNV-1a, 64-bit. Not cryptographic — it only has to make accidental
+/// config drift (different frames, seed, grid) collide with probability
+/// ~2^-64, which is plenty for a resume guard.
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 0xCBF29CE484222325ULL) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string sweep_fingerprint(const std::string& kernel, const Json& job,
+                              std::uint64_t cells, std::uint64_t base_seed) {
+  std::uint64_t h = fnv1a(kernel);
+  h = fnv1a(job.dump(0), h);
+  h = fnv1a(std::to_string(cells), h);
+  h = fnv1a(std::to_string(base_seed), h);
+  return hex64(h);
+}
+
+ManifestLoad load_manifest(const std::string& path, const std::string& fingerprint) {
+  ManifestLoad out;
+  std::ifstream in(path);
+  if (!in) return out;
+  out.found = true;
+
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json v;
+    try {
+      v = Json::parse(line);
+    } catch (const JsonError&) {
+      // Torn tail (crash mid-append) or bit rot: everything from here on
+      // is untrusted; the cells will be recomputed.
+      break;
+    }
+    if (header) {
+      header = false;
+      try {
+        out.fingerprint_ok = v.at("fingerprint").as_string() == fingerprint;
+      } catch (const JsonError&) {
+        out.fingerprint_ok = false;
+      }
+      if (!out.fingerprint_ok) return out;
+      continue;
+    }
+    try {
+      ManifestEntry e;
+      e.cell = static_cast<std::uint64_t>(v.at("cell").as_double());
+      e.record = v.at("record");
+      out.entries.push_back(std::move(e));
+    } catch (const JsonError&) {
+      break;
+    }
+  }
+  return out;
+}
+
+bool ManifestWriter::open(const std::string& path, const std::string& fingerprint,
+                          bool fresh) {
+  if (!log_.open(path, fresh)) return false;
+  if (fresh) {
+    Json header;
+    header["fingerprint"] = fingerprint;
+    return log_.append_line(header.dump(0));
+  }
+  return true;
+}
+
+bool ManifestWriter::append(std::uint64_t cell, const Json& record) {
+  Json entry;
+  entry["cell"] = cell;
+  entry["record"] = record;
+  return log_.append_line(entry.dump(0));
+}
+
+}  // namespace tbi::sim

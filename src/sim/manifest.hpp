@@ -1,0 +1,71 @@
+/// \file manifest.hpp
+/// Done-cell checkpoint manifest for distributed sweeps.
+///
+/// A sweep that takes hours on a preemptible machine must not lose the
+/// cells it already finished. The manifest is an append-fsync journal
+/// living next to the `--json` sink (`<sink>.manifest`): the first line
+/// names the run fingerprint, every following line is one completed cell
+/// with its full record. `--resume` loads the journal, skips the
+/// recorded cells, and merges their records byte-identically with the
+/// freshly computed remainder.
+///
+/// Durability model: each entry is a single O_APPEND write + fdatasync
+/// (common/fsio.hpp), so a crash tears at most the final line; the
+/// loader stops at the first unparseable line and the cells after the
+/// tear are simply recomputed. The manifest is removed once the final
+/// document is committed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fsio.hpp"
+#include "common/json.hpp"
+
+namespace tbi::sim {
+
+/// Fingerprint of a sweep run: a 64-bit hash (hex) over the kernel name,
+/// the job configuration, the cell count and the base seed. Manifest
+/// entries only ever apply to a run with an identical fingerprint —
+/// resuming a 40-frame sweep from a 20-frame manifest would silently mix
+/// incompatible records.
+std::string sweep_fingerprint(const std::string& kernel, const Json& job,
+                              std::uint64_t cells, std::uint64_t base_seed);
+
+struct ManifestEntry {
+  std::uint64_t cell = 0;
+  Json record;
+};
+
+struct ManifestLoad {
+  bool found = false;           ///< the file existed and was readable
+  bool fingerprint_ok = false;  ///< header matched the expected fingerprint
+  /// Valid entry prefix in journal (arrival) order. Entries after a torn
+  /// or corrupt line are dropped.
+  std::vector<ManifestEntry> entries;
+};
+
+/// Load \p path and validate it against \p fingerprint.
+ManifestLoad load_manifest(const std::string& path, const std::string& fingerprint);
+
+/// Append-fsync manifest writer.
+class ManifestWriter {
+ public:
+  /// Open \p path for appending. \p fresh truncates and writes a new
+  /// header; otherwise the journal is extended in place (resume). Returns
+  /// false when the file cannot be opened or the header cannot be
+  /// written.
+  bool open(const std::string& path, const std::string& fingerprint, bool fresh);
+  bool is_open() const { return log_.is_open(); }
+
+  /// Append one completed cell. Returns false on write/sync failure.
+  bool append(std::uint64_t cell, const Json& record);
+
+  void close() { log_.close(); }
+
+ private:
+  AppendLog log_;
+};
+
+}  // namespace tbi::sim

@@ -22,10 +22,6 @@ namespace {
 constexpr unsigned kChannelSymbolBits = 8;  // RS symbols are bytes
 constexpr std::uint64_t kDefaultChunkSymbols = 65536;
 
-bool dram_resident(const std::string& kind) {
-  return kind == "triangular" || kind == "two-stage";
-}
-
 /// Stream permutation for the pipeline's interleaver axis. The block
 /// variant reshapes the packed triangle into an exact rows x cols
 /// rectangle (classic SRAM interleaver) as the non-triangular baseline;
@@ -379,6 +375,35 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
 
 }  // namespace
 
+bool dram_resident_interleaver(const std::string& kind) {
+  return kind == "triangular" || kind == "two-stage";
+}
+
+PipelineConfig fer_cell_config(const PipelineConfig& base, const Scenario& scenario,
+                               std::uint64_t seed) {
+  PipelineConfig config = base;
+  config.interleaver = scenario.interleaver;
+  config.channel = scenario.channel;
+  config.rs_k = scenario.rs_k;
+  config.mapping_spec = scenario.mapping_spec;
+  if (scenario.symbols_per_burst != 0) {
+    config.symbols_per_burst = scenario.symbols_per_burst;
+  }
+  // The DRAM stage only exists for DRAM-resident interleavers; narrow the
+  // template's run_dram so mixed grids stay valid.
+  config.run_dram = base.run_dram && dram_resident_interleaver(scenario.interleaver);
+  config.seed = seed;
+  if (!scenario.device.empty()) {
+    const auto* device = dram::find_config(scenario.device);
+    if (device == nullptr) {
+      throw std::invalid_argument("fer sweep: unknown device '" + scenario.device +
+                                  "'");
+    }
+    config.device = *device;
+  }
+  return config;
+}
+
 std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config) {
   if (config.channel == "none") {
     return nullptr;
@@ -443,7 +468,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
   // the SRAM stage-1 structure and "none" buffers nothing, so asking for
   // their DRAM phases is a configuration error, not a silent no-op.
   if (config.run_dram) {
-    if (!dram_resident(config.interleaver)) {
+    if (!dram_resident_interleaver(config.interleaver)) {
       throw std::invalid_argument(
           "pipeline: run_dram requires a DRAM-resident interleaver "
           "('triangular' or 'two-stage'); '" +
@@ -502,27 +527,7 @@ std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOption
     const Scenario& scenario = cells[index];
     FerRecord record;
     record.scenario = scenario;
-    record.config = options.base;
-    record.config.interleaver = scenario.interleaver;
-    record.config.channel = scenario.channel;
-    record.config.rs_k = scenario.rs_k;
-    record.config.mapping_spec = scenario.mapping_spec;
-    if (scenario.symbols_per_burst != 0) {
-      record.config.symbols_per_burst = scenario.symbols_per_burst;
-    }
-    // The DRAM stage only exists for DRAM-resident interleavers; narrow
-    // the template's run_dram so mixed grids stay valid.
-    record.config.run_dram =
-        options.base.run_dram && dram_resident(scenario.interleaver);
-    record.config.seed = seed;
-    if (!scenario.device.empty()) {
-      const auto* device = dram::find_config(scenario.device);
-      if (device == nullptr) {
-        throw std::invalid_argument("run_fer_sweep: unknown device '" +
-                                    scenario.device + "'");
-      }
-      record.config.device = *device;
-    }
+    record.config = fer_cell_config(options.base, scenario, seed);
     record.result = run_pipeline(record.config, codecs.at(scenario.rs_k));
     return record;
   });

@@ -138,6 +138,18 @@ struct PipelineResult {
 /// Symbols are RS code-word bytes, so all channels run with 8 symbol bits.
 std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config);
 
+/// True for interleavers whose buffer lives in simulated DRAM
+/// ("triangular", "two-stage") — the ones run_dram applies to.
+bool dram_resident_interleaver(const std::string& kind);
+
+/// The exact per-cell PipelineConfig a FER sweep runs for \p scenario:
+/// \p base with the scenario axes, the per-cell \p seed, and run_dram
+/// narrowed to DRAM-resident interleavers. Shared by the in-process
+/// sweep and the distributed workers so both execute byte-identical
+/// cells. Throws std::invalid_argument for an unknown scenario device.
+PipelineConfig fer_cell_config(const PipelineConfig& base, const Scenario& scenario,
+                               std::uint64_t seed);
+
 /// Simulate \p config.frames triangular blocks end to end and, when
 /// configured, the DRAM phases of the DRAM-resident interleaver
 /// ("triangular" or "two-stage").

@@ -35,6 +35,11 @@ unsigned resolve_threads(unsigned requested) {
   return std::min(requested, kMaxThreads);
 }
 
+unsigned effective_threads(unsigned requested, std::uint64_t jobs) {
+  const std::uint64_t resolved = resolve_threads(requested);
+  return static_cast<unsigned>(std::max<std::uint64_t>(1, std::min(resolved, jobs)));
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------
@@ -129,6 +134,28 @@ std::uint64_t SweepGrid::size() const {
   return static_cast<std::uint64_t>(devices.size()) * mapping_specs.size() *
          interleavers.size() * channels.size() * rs_ks.size() *
          symbols_per_bursts.size();
+}
+
+Scenario SweepGrid::cell(std::uint64_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("SweepGrid::cell: index " + std::to_string(index) +
+                            " out of " + std::to_string(size()));
+  }
+  // expand() is row-major with symbols_per_bursts innermost, so the index
+  // peels off axis digits from the inside out.
+  const auto digit = [&index](std::uint64_t radix) {
+    const std::uint64_t d = index % radix;
+    index /= radix;
+    return d;
+  };
+  Scenario s;
+  s.symbols_per_burst = symbols_per_bursts[digit(symbols_per_bursts.size())];
+  s.rs_k = rs_ks[digit(rs_ks.size())];
+  s.channel = channels[digit(channels.size())];
+  s.interleaver = interleavers[digit(interleavers.size())];
+  s.mapping_spec = mapping_specs[digit(mapping_specs.size())];
+  s.device = devices[digit(devices.size())];
+  return s;
 }
 
 std::vector<Scenario> SweepGrid::expand() const {

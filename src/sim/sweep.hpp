@@ -34,6 +34,12 @@ std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t index);
 /// Resolve a requested worker count: 0 means "all hardware threads".
 unsigned resolve_threads(unsigned requested);
 
+/// Worker threads a sweep over \p jobs jobs should actually spawn: the
+/// resolved request clamped to the job count (spawning idle workers for a
+/// 3-cell grid on a 128-core box is pure overhead), and never less than 1
+/// so callers can hand the result straight to ThreadPool.
+unsigned effective_threads(unsigned requested, std::uint64_t jobs);
+
 /// Fixed-size worker pool. Jobs are plain closures; wait_idle() blocks
 /// until every submitted job has finished. Exceptions thrown by jobs are
 /// captured and the first one is rethrown from wait_idle().
@@ -91,7 +97,10 @@ auto sweep_map(std::uint64_t count, const SweepOptions& options, Fn&& fn)
                 "sweep_map: concurrent writes to std::vector<bool> race on "
                 "packed bits; return an int or a struct instead");
   std::vector<Result> results(count);
-  ThreadPool pool(resolve_threads(options.threads));
+  // Empty grids (an empty axis, a fully resumed run) must not spin up a
+  // pool just to tear it down — and ThreadPool itself rejects 0 threads.
+  if (count == 0) return results;
+  ThreadPool pool(effective_threads(options.threads, count));
 
   std::mutex progress_mutex;
   std::uint64_t completed = 0;
@@ -145,6 +154,10 @@ struct SweepGrid {
 
   std::uint64_t size() const;
   std::vector<Scenario> expand() const;
+  /// The cell at \p index of the expand() enumeration, computed O(1) by
+  /// mixed-radix decomposition — sweep workers address cells by index
+  /// without materializing a million-cell grid per lookup.
+  Scenario cell(std::uint64_t index) const;
 };
 
 // ---------------------------------------------------------------------------

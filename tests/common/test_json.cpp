@@ -1,6 +1,7 @@
 #include "common/json.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -135,15 +136,19 @@ TEST(Json, ParseRejectsNanAndInfWithClearError) {
   EXPECT_THROW(Json::parse("[1, nan]"), JsonError);
 }
 
-TEST(Json, WriteFileReportsFlushFailure) {
+TEST(Json, WriteFileFailureNeverTouchesExistingTarget) {
   Json doc;
   doc["x"] = 1;
-  // /dev/full opens writable but fails at flush with ENOSPC — exactly the
-  // late failure the pre-flush good() check used to miss.
-  std::ifstream probe("/dev/full");
-  if (probe.good()) {
-    EXPECT_FALSE(Json::write_file("/dev/full", doc));
-  }
+  // Atomic replace: the document lands in a fsynced temp sibling and is
+  // renamed over the target, so any failure — here procfs refusing the
+  // temp file — must leave the existing target bytes untouched. (Don't
+  // use /dev/full for this: rename-over-target would replace the device
+  // node itself when running as root.)
+  EXPECT_FALSE(Json::write_file("/proc/version", doc));
+  std::ifstream in("/proc/version");
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first, "{") << "write_file failure clobbered the target";
   EXPECT_FALSE(Json::write_file("/no/such/dir/out.json", doc));
 }
 
@@ -160,6 +165,27 @@ TEST(Json, WriteThenReadFileRoundTrips) {
   EXPECT_DOUBLE_EQ(back.at("values").as_array()[1].as_double(), 2.5);
   std::remove(path.c_str());
   EXPECT_THROW(Json::read_file(path), JsonError);
+}
+
+TEST(Json, WriteFileIsAtomicNoTempLeftoverAndOverwrites) {
+  const std::string path = ::testing::TempDir() + "json_atomic_test.json";
+  std::remove(path.c_str());
+
+  Json first;
+  first["generation"] = 1;
+  ASSERT_TRUE(Json::write_file(path, first));
+  Json second;
+  second["generation"] = 2;
+  ASSERT_TRUE(Json::write_file(path, second));  // replace, not append
+
+  const Json back = Json::read_file(path);
+  EXPECT_EQ(back.at("generation").as_double(), 2);
+
+  // The temp file (path + ".<pid>.tmp") must have been renamed away.
+  const std::string temp = path + "." + std::to_string(::getpid()) + ".tmp";
+  std::ifstream leftover(temp);
+  EXPECT_FALSE(leftover.good()) << "temp file left behind: " << temp;
+  std::remove(path.c_str());
 }
 
 }  // namespace

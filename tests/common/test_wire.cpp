@@ -1,0 +1,166 @@
+#include "common/wire.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace tbi::wire {
+namespace {
+
+using Status = FrameReader::Status;
+
+class SocketPair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void close_writer() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+  void close_reader() {
+    ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  int reader() const { return fds_[0]; }
+  int writer() const { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST(WireCrc32, MatchesKnownVector) {
+  // The canonical zlib check value: crc32("123456789") == 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+            0xCBF43926u);
+}
+
+TEST_F(SocketPair, RoundTripsFramesInOrder) {
+  ASSERT_TRUE(write_frame(writer(), FrameType::JobConfig, "{\"kernel\":\"x\"}"));
+  ASSERT_TRUE(write_frame(writer(), FrameType::Assign, "42"));
+  ASSERT_TRUE(write_frame(writer(), FrameType::Heartbeat, ""));
+
+  FrameReader r;
+  Frame f;
+  ASSERT_EQ(read_frame(reader(), r, &f), Status::Frame);
+  EXPECT_EQ(f.type, FrameType::JobConfig);
+  EXPECT_EQ(f.payload_str(), "{\"kernel\":\"x\"}");
+  ASSERT_EQ(read_frame(reader(), r, &f), Status::Frame);
+  EXPECT_EQ(f.type, FrameType::Assign);
+  EXPECT_EQ(f.payload_str(), "42");
+  ASSERT_EQ(read_frame(reader(), r, &f), Status::Frame);
+  EXPECT_EQ(f.type, FrameType::Heartbeat);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST_F(SocketPair, DecodesFramesSplitAcrossArbitraryWrites) {
+  // Stream two frames byte by byte: the incremental reader must never
+  // depend on message boundaries surviving the transport.
+  const auto a = encode_frame(FrameType::Record, std::string("payload-one"));
+  const auto b = encode_frame(FrameType::Done, std::string(""));
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  FrameReader r;
+  Frame f;
+  int frames = 0;
+  for (const std::uint8_t byte : stream) {
+    ASSERT_EQ(::write(writer(), &byte, 1), 1);
+    ASSERT_EQ(r.pump(reader()), Status::NeedMore);
+    Status st;
+    while ((st = r.next(&f)) == Status::Frame) {
+      ++frames;
+      if (frames == 1) {
+        EXPECT_EQ(f.type, FrameType::Record);
+        EXPECT_EQ(f.payload_str(), "payload-one");
+      }
+    }
+    ASSERT_EQ(st, Status::NeedMore);
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(f.type, FrameType::Done);
+}
+
+TEST_F(SocketPair, RejectsCorruptedPayload) {
+  auto bytes = encode_frame(FrameType::Record, std::string("{\"cell\":1}"));
+  bytes[kHeaderBytes + 2] ^= 0xFF;  // flip a payload byte, CRC now stale
+  ASSERT_TRUE(write_all(writer(), bytes.data(), bytes.size()));
+
+  FrameReader r;
+  Frame f;
+  EXPECT_EQ(read_frame(reader(), r, &f), Status::Corrupt);
+  EXPECT_TRUE(r.corrupt());
+  // The corrupt state is sticky: the stream cannot be resynchronized.
+  EXPECT_EQ(r.next(&f), Status::Corrupt);
+}
+
+TEST_F(SocketPair, RejectsBadMagic) {
+  auto bytes = encode_frame(FrameType::Record, std::string("x"));
+  bytes[0] ^= 0x01;
+  ASSERT_TRUE(write_all(writer(), bytes.data(), bytes.size()));
+
+  FrameReader r;
+  Frame f;
+  EXPECT_EQ(read_frame(reader(), r, &f), Status::Corrupt);
+}
+
+TEST_F(SocketPair, RejectsOversizeLength) {
+  auto bytes = encode_frame(FrameType::Record, std::string("x"));
+  // Patch the length field (bytes 5..8, LE) past kMaxPayload.
+  const std::uint32_t huge = kMaxPayload + 1;
+  bytes[5] = static_cast<std::uint8_t>(huge);
+  bytes[6] = static_cast<std::uint8_t>(huge >> 8);
+  bytes[7] = static_cast<std::uint8_t>(huge >> 16);
+  bytes[8] = static_cast<std::uint8_t>(huge >> 24);
+  ASSERT_TRUE(write_all(writer(), bytes.data(), bytes.size()));
+
+  FrameReader r;
+  Frame f;
+  EXPECT_EQ(read_frame(reader(), r, &f), Status::Corrupt);
+}
+
+TEST_F(SocketPair, TruncatedFrameSurfacesAsEof) {
+  const auto bytes = encode_frame(FrameType::Record, std::string("truncate-me"));
+  // A worker that dies mid-write leaves half a frame; the reader must
+  // report EOF, never a phantom frame.
+  ASSERT_TRUE(write_all(writer(), bytes.data(), bytes.size() / 2));
+  close_writer();
+
+  FrameReader r;
+  Frame f;
+  EXPECT_EQ(read_frame(reader(), r, &f), Status::Eof);
+}
+
+TEST_F(SocketPair, DrainsCompleteFrameArrivingWithEof) {
+  const auto bytes = encode_frame(FrameType::Record, std::string("last-words"));
+  ASSERT_TRUE(write_all(writer(), bytes.data(), bytes.size()));
+  close_writer();
+
+  FrameReader r;
+  Frame f;
+  ASSERT_EQ(read_frame(reader(), r, &f), Status::Frame);
+  EXPECT_EQ(f.payload_str(), "last-words");
+  EXPECT_EQ(read_frame(reader(), r, &f), Status::Eof);
+}
+
+TEST_F(SocketPair, WriteToClosedPeerFailsInsteadOfSignaling) {
+  close_reader();
+  // Without MSG_NOSIGNAL this would raise SIGPIPE and kill the test.
+  const auto bytes = encode_frame(FrameType::Heartbeat, std::string(""));
+  bool ok = true;
+  for (int i = 0; i < 64 && ok; ++i) {
+    ok = write_all(writer(), bytes.data(), bytes.size());
+  }
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace tbi::wire

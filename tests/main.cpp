@@ -1,0 +1,52 @@
+/// \file main.cpp
+/// Custom gtest entry point. The dsweep tests spawn worker processes by
+/// re-invoking *this* binary with --worker-fd, so main() must dispatch to
+/// the worker protocol loop before gtest parses argv — and the test
+/// kernels must be registered before either path runs, because the
+/// re-exec'd worker needs them too.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "sim/dsweep.hpp"
+
+int main(int argc, char** argv) {
+  // Cheap deterministic kernel for protocol/recovery tests: echoes the
+  // cell index, its seed and a job tag without touching the simulator.
+  // job["sleep_us"] stretches each cell so injected faults fire before a
+  // fast sibling drains the grid.
+  tbi::sim::dsweep_register_kernel(
+      "test-echo",
+      [](const tbi::Json& job, std::uint64_t index, std::uint64_t seed) {
+        const auto sleep_us = static_cast<unsigned>(job.get_or("sleep_us", 0.0));
+        if (sleep_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
+        tbi::Json r;
+        r["index"] = index;
+        r["seed"] = std::to_string(seed);
+        r["tag"] = job.get_or("tag", std::string(""));
+        return r;
+      });
+  // Kernel that fails deterministically on one cell (no-retry path).
+  tbi::sim::dsweep_register_kernel(
+      "test-fail-at",
+      [](const tbi::Json& job, std::uint64_t index, std::uint64_t) {
+        if (index == static_cast<std::uint64_t>(job.at("fail_at").as_double())) {
+          throw std::invalid_argument("test-fail-at: poison cell");
+        }
+        tbi::Json r;
+        r["index"] = index;
+        return r;
+      });
+
+  const int worker_fd = tbi::sim::dsweep_worker_fd(argc, argv);
+  if (worker_fd >= 0) {
+    return tbi::sim::dsweep_worker_main(worker_fd);
+  }
+
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,303 @@
+/// \file test_dsweep.cpp
+/// Fault-tolerant sweep backend tests. The worker processes these tests
+/// spawn are re-invocations of the test binary itself (tests/main.cpp
+/// dispatches --worker-fd and registers the test kernels), so every
+/// recovery path runs against real fork/exec workers, not mocks.
+#include "sim/dsweep.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/manifest.hpp"
+#include "sim/pipeline.hpp"
+
+namespace tbi::sim {
+namespace {
+
+constexpr std::uint64_t kCells = 24;
+constexpr std::uint64_t kSeed = 7;
+
+Json echo_job() {
+  Json job;
+  job["tag"] = "t";
+  // Stretch each cell to ~2 ms so count-triggered faults always fire
+  // before a sibling drains the whole grid.
+  job["sleep_us"] = 2000;
+  return job;
+}
+
+/// Clean single-process reference for the echo job.
+std::vector<std::string> echo_reference() {
+  DsweepOptions opt;
+  opt.workers = 1;
+  opt.threads = 2;
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  std::vector<std::string> dumps;
+  for (const auto& r : res.records) dumps.push_back(r.dump(0));
+  return dumps;
+}
+
+void expect_matches_reference(const DsweepResult& res) {
+  const auto ref = echo_reference();
+  ASSERT_EQ(res.records.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(res.done[i]) << "cell " << i << " missing";
+    EXPECT_EQ(res.records[i].dump(0), ref[i]) << "cell " << i;
+  }
+}
+
+DsweepOptions fast_recovery_options(unsigned workers) {
+  DsweepOptions opt;
+  opt.workers = workers;
+  opt.threads = 2;
+  opt.backoff_base_ms = 1;  // keep injected-crash tests fast
+  return opt;
+}
+
+std::string temp_manifest(const char* tag) {
+  return ::testing::TempDir() + "dsweep_" + tag + "_" +
+         std::to_string(::getpid()) + ".manifest";
+}
+
+TEST(Dsweep, InProcessRecordsCarryPerCellSeeds) {
+  DsweepOptions opt;
+  opt.workers = 1;
+  opt.threads = 4;
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  ASSERT_EQ(res.records.size(), kCells);
+  EXPECT_FALSE(res.stats.interrupted);
+  EXPECT_FALSE(res.stats.degraded_inprocess);
+  for (std::uint64_t i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(res.done[i]);
+    EXPECT_EQ(res.records[i].at("index").as_double(), static_cast<double>(i));
+    EXPECT_EQ(res.records[i].at("seed").as_string(),
+              std::to_string(job_seed(kSeed, i)));
+  }
+}
+
+TEST(Dsweep, MultiProcessMatchesInProcessByteForByte) {
+  const auto res =
+      dsweep_run("test-echo", echo_job(), kCells, kSeed, fast_recovery_options(3));
+  EXPECT_EQ(res.stats.workers, 3u);
+  EXPECT_EQ(res.stats.worker_restarts, 0u);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, KilledWorkerIsRespawnedAndResultUnchanged) {
+  auto opt = fast_recovery_options(3);
+  opt.faults = FaultSpec::parse("kill-after=2@0");
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_GE(res.stats.worker_restarts, 1u);
+  EXPECT_GE(res.stats.cells_reassigned, 1u);
+  EXPECT_FALSE(res.stats.interrupted);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, HungWorkerHitsHeartbeatTimeoutAndResultUnchanged) {
+  auto opt = fast_recovery_options(2);
+  opt.heartbeat_interval_ms = 25;
+  opt.heartbeat_timeout_ms = 300;
+  opt.faults = FaultSpec::parse("stall-after=1@0");
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_GE(res.stats.heartbeat_timeouts, 1u);
+  EXPECT_GE(res.stats.worker_restarts, 1u);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, CorruptBatchIsRejectedNeverMerged) {
+  auto opt = fast_recovery_options(2);
+  opt.faults = FaultSpec::parse("corrupt-batch=2@0");
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_GE(res.stats.batches_rejected, 1u);
+  EXPECT_GE(res.stats.worker_restarts, 1u);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, TruncatedBatchIsDiscardedAndRecomputed) {
+  auto opt = fast_recovery_options(2);
+  opt.faults = FaultSpec::parse("truncate-batch=2@0");
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_GE(res.stats.worker_restarts, 1u);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, SpawnFailureDegradesToInProcess) {
+  auto opt = fast_recovery_options(4);
+  opt.faults = FaultSpec::parse("spawn-fail");
+  const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_TRUE(res.stats.degraded_inprocess);
+  EXPECT_EQ(res.stats.workers, 0u);
+  expect_matches_reference(res);
+}
+
+TEST(Dsweep, AbortIsCheckpointedAndResumeCompletesIdentically) {
+  const std::string manifest = temp_manifest("resume");
+  std::remove(manifest.c_str());
+
+  auto opt = fast_recovery_options(2);
+  opt.manifest_path = manifest;
+  opt.faults = FaultSpec::parse("abort-after=3");
+  const auto partial = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+  EXPECT_TRUE(partial.stats.interrupted);
+  std::uint64_t done = 0;
+  for (const bool d : partial.done) done += d ? 1 : 0;
+  EXPECT_GE(done, 3u);
+  EXPECT_LT(done, kCells);
+
+  auto resume = fast_recovery_options(2);
+  resume.manifest_path = manifest;
+  resume.resume = true;
+  const auto full = dsweep_run("test-echo", echo_job(), kCells, kSeed, resume);
+  EXPECT_FALSE(full.stats.interrupted);
+  EXPECT_EQ(full.stats.resumed_cells, done);
+  expect_matches_reference(full);
+  std::remove(manifest.c_str());
+}
+
+TEST(Dsweep, ResumeRejectsManifestFromDifferentRun) {
+  const std::string manifest = temp_manifest("mismatch");
+  std::remove(manifest.c_str());
+
+  auto opt = fast_recovery_options(1);
+  opt.manifest_path = manifest;
+  opt.faults = FaultSpec::parse("abort-after=2");
+  (void)dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+
+  auto resume = fast_recovery_options(1);
+  resume.manifest_path = manifest;
+  resume.resume = true;
+  // Different base seed => different fingerprint: silently mixing the old
+  // records would corrupt the sweep, so this must throw.
+  EXPECT_THROW(dsweep_run("test-echo", echo_job(), kCells, kSeed + 1, resume),
+               std::runtime_error);
+  std::remove(manifest.c_str());
+}
+
+TEST(Dsweep, UnknownKernelThrows) {
+  DsweepOptions opt;
+  EXPECT_THROW(dsweep_run("no-such-kernel", Json(), 1, 1, opt),
+               std::invalid_argument);
+}
+
+TEST(Dsweep, ZeroCellsReturnsEmptyWithoutSpawningAnything) {
+  auto opt = fast_recovery_options(4);
+  const auto res = dsweep_run("test-echo", echo_job(), 0, kSeed, opt);
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_TRUE(res.done.empty());
+  EXPECT_EQ(res.stats.workers, 0u);
+}
+
+TEST(Dsweep, DeterministicKernelFailurePropagatesFromWorkers) {
+  Json job;
+  job["fail_at"] = 1;
+  auto opt = fast_recovery_options(2);
+  EXPECT_THROW(dsweep_run("test-fail-at", job, 4, kSeed, opt),
+               std::invalid_argument);
+}
+
+TEST(Dsweep, DeterministicKernelFailurePropagatesInProcess) {
+  Json job;
+  job["fail_at"] = 1;
+  DsweepOptions opt;
+  opt.workers = 1;
+  opt.threads = 2;
+  EXPECT_THROW(dsweep_run("test-fail-at", job, 4, kSeed, opt),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FER integration: the distributed path must reproduce run_fer_sweep.
+// ---------------------------------------------------------------------------
+
+TEST(DsweepFer, DistributedSweepMatchesInProcessSweep) {
+  SweepGrid grid;
+  grid.devices = {"LPDDR5-8533"};
+  grid.interleavers = {"none", "block"};
+  grid.channels = {"bsc", "gilbert-elliott"};
+  grid.rs_ks = {223, 191};
+
+  FerSweepOptions options;
+  options.sweep.threads = 2;
+  options.sweep.base_seed = 11;
+  options.base.frames = 2;
+  options.base.side = 64;
+  options.base.run_dram = false;
+
+  const auto reference = run_fer_sweep(grid, options);
+
+  DsweepOptions dist;
+  dist.workers = 3;
+  dist.backoff_base_ms = 1;
+  const auto res = run_fer_sweep_dist(grid, options, dist);
+
+  ASSERT_EQ(res.cells.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(res.done[i]);
+    const auto& a = reference[i];
+    const auto& b = res.cells[i];
+    EXPECT_EQ(a.scenario.label(), b.scenario.label());
+    EXPECT_EQ(a.result.frames, b.result.frames);
+    EXPECT_EQ(a.result.code_words, b.result.code_words);
+    EXPECT_EQ(a.result.word_errors, b.result.word_errors);
+    EXPECT_EQ(a.result.frame_errors, b.result.frame_errors);
+    EXPECT_EQ(a.result.channel_symbol_errors, b.result.channel_symbol_errors);
+    EXPECT_EQ(a.result.corrected_symbols, b.result.corrected_symbols);
+    EXPECT_EQ(a.result.frame_symbols, b.result.frame_symbols);
+    EXPECT_EQ(a.result.workspace_peak_bytes, b.result.workspace_peak_bytes);
+    EXPECT_EQ(a.result.steady_allocations, b.result.steady_allocations);
+    EXPECT_EQ(a.result.channel_symbols, b.result.channel_symbols);
+    EXPECT_EQ(a.result.dram_ran, b.result.dram_ran);
+  }
+}
+
+TEST(DsweepFer, JobConfigFingerprintIsStable) {
+  SweepGrid grid;
+  grid.devices = {"LPDDR5-8533"};
+  FerSweepOptions options;
+  const Json a = fer_job_config(grid, options);
+  const Json b = fer_job_config(grid, options);
+  EXPECT_EQ(sweep_fingerprint("fer", a, grid.size(), 1),
+            sweep_fingerprint("fer", b, grid.size(), 1));
+}
+
+TEST(DsweepFer, CellRecordRoundTripsThroughWireJson) {
+  Scenario s;
+  s.device = "LPDDR5-8533";
+  s.interleaver = "two-stage";
+  s.channel = "leo";
+  s.rs_k = 191;
+  s.symbols_per_burst = 64;
+  PipelineResult r;
+  r.frames = 4;
+  r.code_words = 123;
+  r.word_errors = 5;
+  r.frame_errors = 2;
+  r.channel_symbol_errors = 999;
+  r.corrected_symbols = 321;
+  r.frame_symbols = 2080;
+  r.workspace_peak_bytes = 65536;
+  r.host_ns = 123456789;
+  r.steady_allocations = 0;
+  r.steady_frames = 3;
+  r.channel_symbols = 8320;
+  r.dram_ran = false;
+
+  const Json wire = fer_cell_to_json(s, r);
+  // Round trip through dump/parse exactly as the socket does.
+  const FerCell back = fer_cell_from_json(Json::parse(wire.dump(0)));
+  EXPECT_EQ(back.scenario.label(), s.label());
+  EXPECT_EQ(back.result.code_words, r.code_words);
+  EXPECT_EQ(back.result.word_errors, r.word_errors);
+  EXPECT_EQ(back.result.frame_errors, r.frame_errors);
+  EXPECT_EQ(back.result.channel_symbol_errors, r.channel_symbol_errors);
+  EXPECT_EQ(back.result.workspace_peak_bytes, r.workspace_peak_bytes);
+  EXPECT_EQ(back.result.host_ns, r.host_ns);
+  EXPECT_FALSE(back.result.dram_ran);
+}
+
+}  // namespace
+}  // namespace tbi::sim

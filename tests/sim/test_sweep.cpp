@@ -271,5 +271,61 @@ TEST(Summary, EmptyIsZero) {
   EXPECT_EQ(summary.mean_utilization, 0.0);
 }
 
+TEST(EffectiveThreads, ClampsToJobCountAndNeverZero) {
+  EXPECT_EQ(effective_threads(8, 3), 3u);   // never spawn idle workers
+  EXPECT_EQ(effective_threads(2, 100), 2u);
+  EXPECT_EQ(effective_threads(1, 0), 1u);   // ThreadPool rejects 0 threads
+  EXPECT_GE(effective_threads(0, 1000), 1u);
+  EXPECT_LE(effective_threads(0, 2), 2u);
+}
+
+TEST(SweepMap, EmptyGridReturnsWithoutSpawningAPool) {
+  SweepOptions options;
+  options.threads = 8;
+  bool ran = false;
+  const auto results = sweep_map(0, options, [&](std::uint64_t, std::uint64_t) {
+    ran = true;
+    return 1;
+  });
+  EXPECT_TRUE(results.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(SweepMap, MoreThreadsThanJobsCompletesAndStaysOrdered) {
+  SweepOptions options;
+  options.threads = 64;  // far more than the 3 jobs
+  const auto results = sweep_map(3, options, [](std::uint64_t i, std::uint64_t) {
+    return static_cast<int>(i) + 1;
+  });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[1], 2);
+  EXPECT_EQ(results[2], 3);
+}
+
+TEST(SweepGrid, CellMatchesExpandAtEveryIndex) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200", "LPDDR4-4266"};
+  grid.mapping_specs = {"row-major", "optimized"};
+  grid.interleavers = {"none", "triangular", "two-stage"};
+  grid.channels = {"bsc", "leo"};
+  grid.rs_ks = {239, 223, 191};
+  grid.symbols_per_bursts = {0, 64};
+
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), grid.size());
+  for (std::uint64_t i = 0; i < grid.size(); ++i) {
+    const Scenario direct = grid.cell(i);
+    EXPECT_EQ(direct.label(), cells[i].label()) << "index " << i;
+    EXPECT_EQ(direct.symbols_per_burst, cells[i].symbols_per_burst);
+  }
+}
+
+TEST(SweepGrid, CellThrowsPastTheEnd) {
+  SweepGrid grid;
+  grid.devices = {"DDR4-3200"};
+  EXPECT_THROW(grid.cell(grid.size()), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace tbi::sim
