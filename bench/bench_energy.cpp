@@ -6,12 +6,16 @@
 /// powered longer per interleaver block.
 ///
 /// Usage: bench_energy [--symbols N] [--max-bursts M] [--markdown]
+///                     [--json FILE]
+#include <chrono>
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "interleaver/streams.hpp"
+#include "perf/counters.hpp"
 #include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_option("symbols", "count", "interleaver symbols (default 12.5M)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("json", "file", "write config + wall time + records as JSON");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -36,6 +41,8 @@ int main(int argc, char** argv) {
   t.set_header({"DRAM Configuration", "Mapping", "ACT/kBurst", "Energy",
                 "nJ/B", "Overhead"});
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array rows;
   for (const auto& device : tbi::dram::standard_configs()) {
     double baseline_nj = 0;
     for (const std::string spec : {"optimized", "row-major"}) {
@@ -66,12 +73,43 @@ int main(int argc, char** argv) {
       t.add_row({spec == "optimized" ? device.name : "", spec,
                  tbi::TextTable::num(acts_per_kburst, 1), energy, npb,
                  overhead});
+
+      tbi::Json row;
+      row["device"] = device.name;
+      row["mapping"] = spec;
+      row["bursts"] = bursts;
+      row["activates"] = run.write.stats.activates + run.read.stats.activates;
+      row["energy_nj"] = total_nj;
+      row["nj_per_byte"] = total_nj / bytes;
+      row["energy_overhead_pct"] = 100.0 * (total_nj / baseline_nj - 1.0);
+      row["sched_ns_per_pick"] = run.sched_ns_per_pick();
+      rows.push_back(row);
     }
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
              stdout);
   std::puts(
       "\nOverhead column: extra energy of the row-major mapping relative to\n"
       "the optimized mapping on the same device (same data moved).");
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_energy";
+    tbi::Json config;
+    config["symbols"] = symbols;
+    config["max_bursts"] = max_bursts;
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    doc["records"] = rows;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -25,8 +25,8 @@
 ///
 /// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
 ///                  [--workers N] [--resume] [--fade-prob P]
-///                  [--burst-symbols B] [--side S] [--spb B] [--markdown]
-///                  [--progress] [--json FILE] [--stable-json]
+///                  [--burst-symbols B] [--side S] [--spb B] [--links N]
+///                  [--markdown] [--progress] [--json FILE] [--stable-json]
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   cli.add_option("burst-symbols", "b", "mean fade length in symbols (default 300)");
   cli.add_option("side", "s", "interleaver side (0 = RS-255 triangle; bursts for two-stage)");
   cli.add_option("spb", "b", "two-stage symbols per DRAM burst (default 64)");
+  cli.add_option("links", "n", "downlinks interleaved on the wire (default 1)");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("progress", "", "print sweep progress to stderr");
   cli.add_option("json", "file", "write config + wall time + records as JSON");
@@ -90,11 +91,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const unsigned links = static_cast<unsigned>(cli.get_int("links", 1));
+  if (links == 0) {
+    std::fprintf(stderr, "error: --links must be >= 1\n");
+    return 1;
+  }
+
   tbi::sim::SweepGrid grid;
   grid.devices = {device};
   grid.interleavers = {"none", "block", "triangular", "two-stage"};
   grid.channels = {"bsc", "gilbert-elliott", "leo"};
   grid.rs_ks = {239, 223, 191};
+  // Route --links through the grid axis (not the base template) so the
+  // scenario labels and checkpoint manifests identify multi-link cells;
+  // the default 1 keeps the axis in its unset state and the cell order,
+  // seeds and labels of single-link sweeps unchanged.
+  if (links > 1) grid.links = {links};
 
   tbi::sim::FerSweepOptions options;
   options.sweep.threads = static_cast<unsigned>(cli.get_int("threads", 0));
@@ -162,6 +174,7 @@ int main(int argc, char** argv) {
     config["burst_symbols"] = options.base.mean_burst_symbols;
     config["side"] = options.base.side;
     config["spb"] = options.base.symbols_per_burst;
+    config["links"] = static_cast<std::uint64_t>(links);
     doc["config"] = config;
     if (!stable) {
       doc["wall_seconds"] = wall_seconds;
@@ -179,6 +192,9 @@ int main(int argc, char** argv) {
       row["interleaver"] = r.scenario.interleaver;
       row["channel"] = r.scenario.channel;
       row["rs_k"] = static_cast<std::uint64_t>(r.scenario.rs_k);
+      if (r.scenario.links != 0) {
+        row["links"] = static_cast<std::uint64_t>(r.scenario.links);
+      }
       row["frame_symbols"] = r.result.frame_symbols;
       row["code_words"] = r.result.code_words;
       row["word_errors"] = r.result.word_errors;

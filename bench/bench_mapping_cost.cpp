@@ -7,10 +7,21 @@
 /// computation itself. The optimized mapping must stay within a small
 /// factor of the trivial row-major linearization (a few ns per address),
 /// i.e. nothing in it needs division trees, tables or iteration.
+///
+/// `--json FILE` bypasses google-benchmark and times the same cases with
+/// the in-process perf counters, emitting the shared bench JSON schema
+/// (config + records + perf) for bench_compare / the bench-trend CI step.
+/// All other arguments go to google-benchmark as usual.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/json.hpp"
 #include "dram/standards.hpp"
 #include "mapping/factory.hpp"
+#include "perf/counters.hpp"
 
 namespace {
 
@@ -96,6 +107,80 @@ void BM_FullPhaseAddressGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPhaseAddressGeneration);
 
+volatile std::uint64_t g_sink = 0;  ///< keeps the --json timing loops honest
+
+/// ns per map() over the same triangular walk the benchmark cases use.
+double time_mapping_ns(const char* spec, const tbi::dram::DeviceConfig& dev,
+                       std::uint64_t side, std::uint64_t iters) {
+  const auto m = tbi::mapping::make_mapping(spec, dev, side);
+  std::uint64_t i = 0, j = 0, acc = 0;
+  const std::uint64_t start = tbi::perf::now_ns();
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const auto a = m->map(i, j);
+    acc += a.bank + a.row + a.column;
+    j = (j + 1) % (side - i);
+    if (j == 0) i = (i + 1) % side;
+  }
+  const std::uint64_t ns = tbi::perf::now_ns() - start;
+  g_sink = acc;
+  return static_cast<double>(ns) / static_cast<double>(iters);
+}
+
+int run_json(const char* path) {
+  constexpr std::uint64_t kIters = 2'000'000;
+  const auto& ddr4 = *find_config("DDR4-3200");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array rows;
+  const auto add_row = [&rows](const std::string& label, const char* spec,
+                               const tbi::dram::DeviceConfig& dev,
+                               std::uint64_t iters) {
+    tbi::Json row;
+    row["case"] = label;
+    row["device"] = dev.name;
+    row["mapping"] = spec;
+    time_mapping_ns(spec, dev, kSide, iters / 4);  // warm-up, untimed
+    row["map_ns"] = time_mapping_ns(spec, dev, kSide, iters);
+    rows.push_back(row);
+  };
+  add_row("row-major", "row-major", ddr4, kIters);
+  add_row("optimized", "optimized", ddr4, kIters);
+  for (const char* spec : {"optimized/none", "optimized/diag", "optimized/tile",
+                           "optimized/diag+tile"}) {
+    add_row(std::string("ablation:") + spec, spec, ddr4, kIters);
+  }
+  for (const auto& dev : tbi::dram::standard_configs()) {
+    add_row(std::string("device:") + dev.name, "optimized", dev, kIters / 4);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  tbi::Json doc;
+  doc["bench"] = "bench_mapping_cost";
+  tbi::Json config;
+  config["side"] = kSide;
+  config["iterations"] = kIters;
+  doc["config"] = config;
+  doc["wall_seconds"] = wall_seconds;
+  doc["records"] = rows;
+  tbi::Json perf;
+  perf["process_allocations"] = tbi::perf::process_alloc_count();
+  doc["perf"] = perf;
+  return tbi::Json::write_file(path, doc) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return run_json(argv[i + 1]);
+    if (arg.rfind("--json=", 0) == 0) return run_json(argv[i] + 7);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,12 +9,16 @@
 /// the legality condition (lifetime < 32..64 ms retention) can be checked.
 ///
 /// Usage: bench_refresh [--symbols N] [--max-bursts M] [--markdown]
+///                      [--json FILE]
+#include <chrono>
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
 #include "interleaver/streams.hpp"
+#include "perf/counters.hpp"
 #include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -22,6 +26,7 @@ int main(int argc, char** argv) {
   cli.add_option("symbols", "count", "interleaver symbols (default 12.5M)");
   cli.add_option("max-bursts", "count", "truncate phases for quick runs");
   cli.add_option("markdown", "", "print GitHub markdown");
+  cli.add_option("json", "file", "write config + wall time + records as JSON");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
   t.set_header({"DRAM Configuration", "Refresh Mode", "Write", "Read",
                 "Write (no REF)", "Read (no REF)", "Data Lifetime"});
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  tbi::Json::Array rows;
   for (const auto& device : tbi::dram::standard_configs()) {
     tbi::sim::RunConfig rc;
     rc.device = device;
@@ -64,11 +71,42 @@ int main(int argc, char** argv) {
                tbi::TextTable::pct(with_ref.read.stats.utilization()),
                tbi::TextTable::pct(no_ref.write.stats.utilization()),
                tbi::TextTable::pct(no_ref.read.stats.utilization()), lifetime});
+
+    tbi::Json row;
+    row["device"] = device.name;
+    row["refresh_mode"] = to_string(device.default_refresh);
+    row["write_utilization"] = with_ref.write.stats.utilization();
+    row["read_utilization"] = with_ref.read.stats.utilization();
+    row["write_utilization_no_ref"] = no_ref.write.stats.utilization();
+    row["read_utilization_no_ref"] = no_ref.read.stats.utilization();
+    row["refreshes"] = with_ref.write.stats.refreshes + with_ref.read.stats.refreshes;
+    row["lifetime_ms"] = lifetime_ms;
+    rows.push_back(row);
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   std::fputs(cli.has("markdown") ? t.render_markdown().c_str() : t.render().c_str(),
              stdout);
   std::puts(
       "\nDisabling refresh is legal while the data lifetime stays below the\n"
       "DRAM retention period (32..64 ms, paper §III).");
+
+  if (cli.has("json")) {
+    tbi::Json doc;
+    doc["bench"] = "bench_refresh";
+    tbi::Json config;
+    config["symbols"] = symbols;
+    config["max_bursts"] = max_bursts;
+    doc["config"] = config;
+    doc["wall_seconds"] = wall_seconds;
+    doc["records"] = rows;
+    tbi::Json perf;
+    perf["process_allocations"] = tbi::perf::process_alloc_count();
+    doc["perf"] = perf;
+    if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -22,6 +22,19 @@
 ///   ]
 /// }
 ///
+/// A config with a "fer" object instead drives the end-to-end FER sweep
+/// ("fer" kernel): axis arrays become the scenario grid (including the
+/// multi-link "links" axis), scalars configure the pipeline template:
+/// {
+///   "fer": {
+///     "interleavers": ["triangular", "two-stage"],
+///     "channels": ["gilbert-elliott", "leo"],
+///     "rs_ks": [223],
+///     "links": [1, 4],
+///     "frames": 8
+///   }
+/// }
+///
 /// Usage: experiment_runner --config FILE [--output FILE]
 ///                          [--workers N] [--resume]
 ///        experiment_runner --print-default-config
@@ -33,6 +46,7 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "sim/dsweep.hpp"
+#include "sim/pipeline.hpp"
 
 namespace {
 
@@ -51,6 +65,88 @@ const char* kDefaultConfig = R"({
 volatile std::sig_atomic_t g_cancel = 0;
 
 void handle_signal(int) { g_cancel = 1; }
+
+/// FER batch: the "fer" config object drives run_fer_sweep_dist. Axis
+/// arrays select the grid, scalar fields fill the pipeline template with
+/// the bench_fer defaults.
+tbi::Json run_fer_experiment(const tbi::Json& fer, tbi::sim::DsweepOptions& dist,
+                             bool& interrupted) {
+  tbi::sim::SweepGrid grid;
+  const auto string_axis = [&fer](const char* key,
+                                  std::vector<std::string> fallback) {
+    if (!fer.contains(key)) return fallback;
+    std::vector<std::string> out;
+    for (const auto& v : fer.at(key).as_array()) out.push_back(v.as_string());
+    return out;
+  };
+  grid.devices = string_axis("devices", {"LPDDR5-8533"});
+  grid.mapping_specs = string_axis("mapping_specs", {"optimized"});
+  grid.interleavers = string_axis("interleavers", {"triangular"});
+  grid.channels = string_axis("channels", {"gilbert-elliott"});
+  if (fer.contains("rs_ks")) {
+    grid.rs_ks.clear();
+    for (const auto& v : fer.at("rs_ks").as_array()) {
+      grid.rs_ks.push_back(static_cast<unsigned>(v.as_double()));
+    }
+  }
+  if (fer.contains("symbols_per_bursts")) {
+    grid.symbols_per_bursts.clear();
+    for (const auto& v : fer.at("symbols_per_bursts").as_array()) {
+      grid.symbols_per_bursts.push_back(static_cast<std::uint64_t>(v.as_double()));
+    }
+  }
+  if (fer.contains("links")) {
+    grid.links.clear();
+    for (const auto& v : fer.at("links").as_array()) {
+      grid.links.push_back(static_cast<unsigned>(v.as_double()));
+    }
+  }
+
+  tbi::sim::FerSweepOptions options;
+  options.sweep.threads = static_cast<unsigned>(fer.get_or("threads", 0.0));
+  options.sweep.base_seed = static_cast<std::uint64_t>(fer.get_or("seed", 1.0));
+  options.base.frames = static_cast<unsigned>(fer.get_or("frames", 8.0));
+  options.base.side = static_cast<std::uint64_t>(fer.get_or("side", 0.0));
+  options.base.symbols_per_burst =
+      static_cast<std::uint64_t>(fer.get_or("spb", 64.0));
+  options.base.fade_fraction = fer.get_or("fade_prob", 0.004);
+  options.base.mean_burst_symbols = fer.get_or("burst_symbols", 300.0);
+  options.base.error_probability = fer.get_or("error_probability", 2e-3);
+  options.base.error_rate_bad = fer.get_or("error_rate_bad", 0.95);
+  options.base.link_phase_symbols =
+      static_cast<std::uint64_t>(fer.get_or("link_phase_symbols", 0.0));
+
+  const auto sweep = tbi::sim::run_fer_sweep_dist(grid, options, dist);
+  interrupted = sweep.stats.interrupted;
+
+  tbi::Json results;
+  tbi::Json rows;
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    if (!sweep.done[i]) continue;
+    const auto& cell = sweep.cells[i];
+    tbi::Json row;
+    row["scenario"] = cell.scenario.label();
+    if (cell.scenario.links != 0) {
+      row["links"] = static_cast<std::uint64_t>(cell.scenario.links);
+    }
+    row["frame_symbols"] = cell.result.frame_symbols;
+    row["code_words"] = cell.result.code_words;
+    row["word_errors"] = cell.result.word_errors;
+    row["frame_errors"] = cell.result.frame_errors;
+    row["channel_symbol_errors"] = cell.result.channel_symbol_errors;
+    row["wer"] = cell.result.word_error_rate();
+    row["fer"] = cell.result.frame_error_rate();
+    if (cell.result.dram_ran) {
+      row["dram_throughput_gbps"] = cell.result.dram_throughput_gbps;
+      row["dram_bursts"] = cell.dram_bursts;
+    }
+    rows.push_back(row);
+  }
+  results["fer"] = rows;
+  if (interrupted) results["interrupted"] = true;
+  if (dist.workers > 1) results["dsweep"] = sweep.stats.to_json();
+  return results;
+}
 
 }  // namespace
 
@@ -106,18 +202,6 @@ int main(int argc, char** argv) {
   bool interrupted = false;
   try {
     const tbi::Json config = tbi::Json::parse(text);
-    // Canonical job config for the "bandwidth" kernel: built from parsed
-    // values, never from the raw file text, so whitespace/key-order
-    // changes in the config file don't invalidate a resume manifest.
-    tbi::Json job;
-    job["symbols"] =
-        static_cast<std::uint64_t>(config.get_or("symbols", 12'500'000.0));
-    job["max_bursts"] = static_cast<std::uint64_t>(config.get_or("max_bursts", 0.0));
-    job["queue_depth"] = static_cast<std::uint64_t>(config.get_or("queue_depth", 64.0));
-    job["runs"] = config.at("runs");
-    const auto cells =
-        static_cast<std::uint64_t>(config.at("runs").as_array().size());
-
     dist.workers = static_cast<unsigned>(cli.get_int("workers", 1));
     dist.resume = cli.has("resume");
     if (cli.has("output")) {
@@ -126,17 +210,35 @@ int main(int argc, char** argv) {
     dist.cancel = &g_cancel;
     dist.faults = tbi::sim::FaultSpec::from_env();
 
-    const auto run = tbi::sim::dsweep_run("bandwidth", job, cells, 0, dist);
-    interrupted = run.stats.interrupted;
+    if (config.contains("fer")) {
+      results = run_fer_experiment(config.at("fer"), dist, interrupted);
+    } else {
+      // Canonical job config for the "bandwidth" kernel: built from parsed
+      // values, never from the raw file text, so whitespace/key-order
+      // changes in the config file don't invalidate a resume manifest.
+      tbi::Json job;
+      job["symbols"] =
+          static_cast<std::uint64_t>(config.get_or("symbols", 12'500'000.0));
+      job["max_bursts"] =
+          static_cast<std::uint64_t>(config.get_or("max_bursts", 0.0));
+      job["queue_depth"] =
+          static_cast<std::uint64_t>(config.get_or("queue_depth", 64.0));
+      job["runs"] = config.at("runs");
+      const auto cells =
+          static_cast<std::uint64_t>(config.at("runs").as_array().size());
 
-    tbi::Json runs_out;
-    for (std::uint64_t i = 0; i < cells; ++i) {
-      if (run.done[i]) runs_out.push_back(run.records[i]);
+      const auto run = tbi::sim::dsweep_run("bandwidth", job, cells, 0, dist);
+      interrupted = run.stats.interrupted;
+
+      tbi::Json runs_out;
+      for (std::uint64_t i = 0; i < cells; ++i) {
+        if (run.done[i]) runs_out.push_back(run.records[i]);
+      }
+      results["runs"] = runs_out;
+      results["symbols"] = job.at("symbols");
+      if (interrupted) results["interrupted"] = true;
+      if (dist.workers > 1) results["dsweep"] = run.stats.to_json();
     }
-    results["runs"] = runs_out;
-    results["symbols"] = job.at("symbols");
-    if (interrupted) results["interrupted"] = true;
-    if (dist.workers > 1) results["dsweep"] = run.stats.to_json();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "experiment failed: %s\n", e.what());
     return 1;

@@ -14,11 +14,13 @@ SymmetricChannel::SymmetricChannel(double error_probability, unsigned symbol_bit
   }
 }
 
-std::uint64_t SymmetricChannel::apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
+std::uint64_t SymmetricChannel::advance(std::uint8_t* data, std::uint64_t span,
+                                        Rng& rng) {
   std::uint64_t corrupted = 0;
-  for (auto& s : symbols) {
+  for (std::uint64_t i = 0; i < span; ++i) {
     if (rng.bernoulli(p_)) {
-      corrupt_symbol(s, symbol_bits_, rng);
+      const std::uint8_t flip = corrupt_flip(symbol_bits_, rng);
+      if (data != nullptr) data[i] ^= flip;
       ++corrupted;
     }
   }

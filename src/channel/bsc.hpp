@@ -12,10 +12,12 @@ class SymmetricChannel final : public Channel {
  public:
   SymmetricChannel(double error_probability, unsigned symbol_bits);
 
-  std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) override;
   const char* name() const override { return "symmetric"; }
 
   double error_probability() const { return p_; }
+
+ protected:
+  std::uint64_t advance(std::uint8_t* data, std::uint64_t span, Rng& rng) override;
 
  private:
   double p_;

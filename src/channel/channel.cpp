@@ -1,0 +1,20 @@
+#include "channel/channel.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tbi::channel {
+
+std::uint64_t Channel::apply_range(std::uint64_t start,
+                                   std::span<std::uint8_t> symbols, Rng& rng) {
+  if (start < position_) {
+    throw std::logic_error(
+        std::string("Channel::apply_range: start ") + std::to_string(start) +
+        " is behind position " + std::to_string(position_) +
+        " — channels only run forward; rewind with a fresh instance");
+  }
+  if (start > position_) skip(start - position_, rng);
+  return apply(symbols, rng);
+}
+
+}  // namespace tbi::channel

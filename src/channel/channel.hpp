@@ -10,9 +10,21 @@
 ///
 /// Channels operate on *symbol* streams: apply() flips (XOR-corrupts)
 /// symbols in place and returns the number of corrupted symbols.
+///
+/// Every channel is a deterministic state machine over a *wire position*
+/// counter: symbol i of the stream is corrupted by a fixed function of
+/// (parameters, RNG seed, the i-1 symbols before it). The one primitive a
+/// subclass implements, advance(), walks a span of symbols either
+/// corrupting a buffer or — with a null buffer — consuming the *identical*
+/// RNG draws without writing. That second mode is the deterministic
+/// skip-ahead behind apply_range(): a fresh channel can fast-forward to
+/// any wire position and continue byte-identically to a sequential walk,
+/// which is what lets range-addressable error sources (src/source/) hand
+/// disjoint spans of one frame to independent workers.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,18 +37,64 @@ class Channel {
 
   /// Corrupt \p symbols in place; a corrupted symbol is XORed with a
   /// non-zero random value (so it is guaranteed to differ).
-  /// Returns the number of corrupted symbols.
-  virtual std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) = 0;
+  /// Returns the number of corrupted symbols and advances position().
+  std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
+    return apply(std::span<std::uint8_t>(symbols), rng);
+  }
+  std::uint64_t apply(std::span<std::uint8_t> symbols, Rng& rng) {
+    position_ += symbols.size();
+    return advance(symbols.data(), symbols.size(), rng);
+  }
+
+  /// Fast-forward the channel over \p span symbols without observing any
+  /// data: consumes exactly the RNG draws apply() would, so a subsequent
+  /// apply() continues byte-identically to an uninterrupted sequential
+  /// walk. Cost is RNG-only (no memory traffic); the LEO model skips
+  /// un-faded power samples in O(1) per sample.
+  void skip(std::uint64_t span, Rng& rng) {
+    position_ += span;
+    advance(nullptr, span, rng);
+  }
+
+  /// Counter-based random access: corrupt \p symbols as the wire range
+  /// [start, start + symbols.size()). Requires start >= position() (the
+  /// channel only runs forward; rewind by constructing a fresh instance
+  /// and reseeding the RNG); the gap is crossed with skip(). Chunking a
+  /// stream through apply_range at any boundaries is byte-identical to
+  /// one sequential apply() over the whole stream (tested property).
+  std::uint64_t apply_range(std::uint64_t start, std::span<std::uint8_t> symbols,
+                            Rng& rng);
+
+  /// Wire position of the next symbol apply()/skip() will consume.
+  std::uint64_t position() const { return position_; }
 
   virtual const char* name() const = 0;
+
+ protected:
+  /// The one subclass primitive: walk \p span symbols of the wire. When
+  /// \p data is non-null, XOR-corrupt data[0..span); when null, draw the
+  /// identical RNG sequence without writing (skip mode). Returns the
+  /// number of (would-be) corrupted symbols.
+  virtual std::uint64_t advance(std::uint8_t* data, std::uint64_t span,
+                                Rng& rng) = 0;
+
+ private:
+  std::uint64_t position_ = 0;
 };
 
-/// Corrupt one symbol, guaranteeing a change in its low \p bits.
-inline void corrupt_symbol(std::uint8_t& sym, unsigned bits, Rng& rng) {
+/// Random non-zero flip mask confined to the low \p bits. Drawing (and
+/// discarding) this in skip mode is what keeps the RNG stream aligned
+/// with the corrupting walk.
+inline std::uint8_t corrupt_flip(unsigned bits, Rng& rng) {
   const std::uint64_t mask = (bits >= 8) ? 0xFF : ((1u << bits) - 1);
   std::uint8_t flip = 0;
   while (flip == 0) flip = static_cast<std::uint8_t>(rng.next_u64() & mask);
-  sym ^= flip;
+  return flip;
+}
+
+/// Corrupt one symbol, guaranteeing a change in its low \p bits.
+inline void corrupt_symbol(std::uint8_t& sym, unsigned bits, Rng& rng) {
+  sym ^= corrupt_flip(bits, rng);
 }
 
 }  // namespace tbi::channel

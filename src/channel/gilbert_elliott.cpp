@@ -34,10 +34,10 @@ double GilbertElliottChannel::stationary_bad() const {
   return denom > 0.0 ? params_.p_gb / denom : 0.0;
 }
 
-std::uint64_t GilbertElliottChannel::apply(std::vector<std::uint8_t>& symbols,
-                                           Rng& rng) {
+std::uint64_t GilbertElliottChannel::advance(std::uint8_t* data,
+                                             std::uint64_t span, Rng& rng) {
   std::uint64_t corrupted = 0;
-  for (auto& s : symbols) {
+  for (std::uint64_t i = 0; i < span; ++i) {
     if (bad_) {
       if (rng.bernoulli(params_.p_bg)) bad_ = false;
     } else {
@@ -45,7 +45,8 @@ std::uint64_t GilbertElliottChannel::apply(std::vector<std::uint8_t>& symbols,
     }
     const double p = bad_ ? params_.error_bad : params_.error_good;
     if (p > 0.0 && rng.bernoulli(p)) {
-      corrupt_symbol(s, params_.symbol_bits, rng);
+      const std::uint8_t flip = corrupt_flip(params_.symbol_bits, rng);
+      if (data != nullptr) data[i] ^= flip;
       ++corrupted;
     }
   }

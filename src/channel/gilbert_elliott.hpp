@@ -30,13 +30,15 @@ class GilbertElliottChannel final : public Channel {
  public:
   explicit GilbertElliottChannel(GilbertElliottParams params);
 
-  std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) override;
   const char* name() const override { return "gilbert-elliott"; }
 
   const GilbertElliottParams& params() const { return params_; }
 
   /// Stationary probability of being in the Bad state.
   double stationary_bad() const;
+
+ protected:
+  std::uint64_t advance(std::uint8_t* data, std::uint64_t span, Rng& rng) override;
 
  private:
   GilbertElliottParams params_;

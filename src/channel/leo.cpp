@@ -75,11 +75,12 @@ double LeoFadingChannel::next_gaussian(Rng& rng) {
   return u * m;
 }
 
-std::uint64_t LeoFadingChannel::apply(std::vector<std::uint8_t>& symbols, Rng& rng) {
+std::uint64_t LeoFadingChannel::advance(std::uint8_t* data, std::uint64_t span,
+                                        Rng& rng) {
   std::uint64_t corrupted = 0;
   const double sigma = std::sqrt(1.0 - rho_ * rho_);
-  std::size_t k = 0;
-  while (k < symbols.size()) {
+  std::uint64_t k = 0;
+  while (k < span) {
     if (sample_phase_ == 0) {
       if (started_) {
         state_ = rho_ * state_ + sigma * next_gaussian(rng);
@@ -93,13 +94,16 @@ std::uint64_t LeoFadingChannel::apply(std::vector<std::uint8_t>& symbols, Rng& r
       }
       faded_ = state_ < threshold_;
     }
-    const std::size_t take = std::min(
-        symbols.size() - k,
-        static_cast<std::size_t>(params_.symbols_per_sample - sample_phase_));
+    const std::uint64_t take = std::min(
+        span - k,
+        static_cast<std::uint64_t>(params_.symbols_per_sample - sample_phase_));
     if (faded_) {
-      for (std::size_t i = k; i < k + take; ++i) {
+      // The per-symbol draws only exist inside fades, so skip mode
+      // (data == nullptr) crosses every clean sample window for free.
+      for (std::uint64_t i = k; i < k + take; ++i) {
         if (rng.bernoulli(params_.fade_depth_error_rate)) {
-          corrupt_symbol(symbols[i], params_.symbol_bits, rng);
+          const std::uint8_t flip = corrupt_flip(params_.symbol_bits, rng);
+          if (data != nullptr) data[i] ^= flip;
           ++corrupted;
         }
       }

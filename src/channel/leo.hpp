@@ -28,7 +28,6 @@ class LeoFadingChannel final : public Channel {
  public:
   explicit LeoFadingChannel(LeoChannelParams params);
 
-  std::uint64_t apply(std::vector<std::uint8_t>& symbols, Rng& rng) override;
   const char* name() const override { return "leo-fading"; }
 
   const LeoChannelParams& params() const { return params_; }
@@ -37,6 +36,14 @@ class LeoFadingChannel final : public Channel {
   double rho() const { return rho_; }
   /// Fade threshold on the unit-variance Gaussian power proxy.
   double threshold() const { return threshold_; }
+
+ protected:
+  /// Skip mode (data == nullptr) is where the LEO model's skip-ahead is
+  /// genuinely fast: an un-faded power sample consumes no per-symbol
+  /// draws at all, so crossing a clean span costs O(1) per
+  /// symbols_per_sample window — only faded stretches (the configured few
+  /// percent) are walked symbol by symbol.
+  std::uint64_t advance(std::uint8_t* data, std::uint64_t span, Rng& rng) override;
 
  private:
   double next_gaussian(Rng& rng);

@@ -688,6 +688,7 @@ Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options) {
   g["channels"] = string_array(grid.channels);
   g["rs_ks"] = number_array(grid.rs_ks);
   g["symbols_per_bursts"] = number_array(grid.symbols_per_bursts);
+  g["links"] = number_array(grid.links);
 
   const PipelineConfig& b = options.base;
   Json base;
@@ -703,6 +704,8 @@ Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options) {
   base["fade_fraction"] = b.fade_fraction;
   base["mean_burst_symbols"] = b.mean_burst_symbols;
   base["error_rate_bad"] = b.error_rate_bad;
+  base["links"] = static_cast<std::uint64_t>(b.links);
+  base["link_phase_symbols"] = b.link_phase_symbols;
   base["run_dram"] = b.run_dram;
   // Workers rebuild the device from the standard-config table; custom
   // DeviceConfigs can't ride the wire (grids name their devices anyway).
@@ -725,6 +728,7 @@ Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result) {
   sc["channel"] = scenario.channel;
   sc["rs_k"] = static_cast<std::uint64_t>(scenario.rs_k);
   sc["symbols_per_burst"] = scenario.symbols_per_burst;
+  sc["links"] = static_cast<std::uint64_t>(scenario.links);
 
   Json r;
   r["frames"] = result.frames;
@@ -763,6 +767,7 @@ FerCell fer_cell_from_json(const Json& record) {
   cell.scenario.rs_k = static_cast<unsigned>(sc.at("rs_k").as_double());
   cell.scenario.symbols_per_burst =
       static_cast<std::uint64_t>(sc.at("symbols_per_burst").as_double());
+  cell.scenario.links = static_cast<unsigned>(sc.get_or("links", 0.0));
 
   const auto u64 = [&r](const char* key) {
     return static_cast<std::uint64_t>(r.at(key).as_double());

@@ -37,6 +37,14 @@ SweepGrid grid_from_json(const Json& g) {
   for (const auto& v : g.at("symbols_per_bursts").as_array()) {
     grid.symbols_per_bursts.push_back(static_cast<std::uint64_t>(v.as_double()));
   }
+  // Absent in pre-links job configs (checkpoint manifests written before
+  // the axis existed resume fine): default to the single "inherit" cell.
+  if (g.contains("links")) {
+    grid.links.clear();
+    for (const auto& v : g.at("links").as_array()) {
+      grid.links.push_back(static_cast<unsigned>(v.as_double()));
+    }
+  }
   return grid;
 }
 
@@ -56,6 +64,9 @@ PipelineConfig base_from_json(const Json& b) {
   base.fade_fraction = b.at("fade_fraction").as_double();
   base.mean_burst_symbols = b.at("mean_burst_symbols").as_double();
   base.error_rate_bad = b.at("error_rate_bad").as_double();
+  base.links = static_cast<unsigned>(b.get_or("links", 1.0));
+  base.link_phase_symbols =
+      static_cast<std::uint64_t>(b.get_or("link_phase_symbols", 0.0));
   base.run_dram = b.at("run_dram").as_bool();
   base.mapping_spec = b.at("mapping_spec").as_string();
   base.dram_max_bursts_per_phase =

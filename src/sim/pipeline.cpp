@@ -14,6 +14,7 @@
 #include "interleaver/triangular.hpp"
 #include "interleaver/twostage.hpp"
 #include "perf/counters.hpp"
+#include "source/trace.hpp"
 
 namespace tbi::sim {
 
@@ -120,7 +121,6 @@ struct FrameWorkspace {
   std::vector<std::uint8_t> rx;      ///< deinterleaved received stream
   std::vector<std::uint8_t> word;    ///< one RS code word (n symbols)
   std::vector<std::uint8_t> data;    ///< concatenated per-row payloads
-  std::vector<std::uint8_t> chunk;   ///< streaming: one wire chunk
   std::vector<ErrorHit> hits;        ///< streaming: per-frame corruption
   fec::RsScratch rs_scratch;
 
@@ -139,15 +139,15 @@ struct FrameWorkspace {
     return ws;
   }
 
-  static FrameWorkspace streaming(unsigned n, unsigned k,
-                                  std::uint64_t chunk_symbols) {
+  static FrameWorkspace streaming(unsigned n, unsigned k) {
     FrameWorkspace ws;
     ws.word.resize(n);
     ws.data.resize(k);
     ws.rs_scratch.reserve(n);
-    ws.chunk.reserve(chunk_symbols);
     // Headroom for the per-frame corruption list so a noisier-than-frame-0
-    // frame does not count a reallocation against the steady state.
+    // frame does not count a reallocation against the steady state. (The
+    // wire-chunk scan buffer lives inside the source now — see
+    // ChannelSource::scratch_bytes, charged into workspace_peak_bytes.)
     ws.hits.reserve(4096);
     return ws;
   }
@@ -162,7 +162,7 @@ struct FrameWorkspace {
              s.positions.capacity() * sizeof(unsigned);
     };
     return stream.capacity() + tx.capacity() + rx.capacity() + word.capacity() +
-           data.capacity() + chunk.capacity() + hits.capacity() * sizeof(ErrorHit) +
+           data.capacity() + hits.capacity() * sizeof(ErrorHit) +
            scratch_bytes(rs_scratch);
   }
 };
@@ -236,14 +236,14 @@ void decode_frame(const fec::ReedSolomon& rs, std::uint64_t side,
 void run_frames_materialized(const PipelineConfig& config,
                              const fec::ReedSolomon& rs,
                              const StreamInterleaver& il, std::uint64_t side,
-                             channel::Channel* ch, PipelineResult& result) {
-  // Decoupled deterministic streams: the channel draws do not depend on
-  // how much entropy the data generation consumed, so two configs that
-  // differ only in the interleaver see the same fade pattern.
+                             source::ErrorSource* src, PipelineResult& result) {
+  // The data stream is decoupled from the source's channel draws (see
+  // make_source), so two configs that differ only in the interleaver see
+  // the same fade pattern.
   Rng data_rng(job_seed(config.seed, 0));
-  Rng channel_rng(job_seed(config.seed, 1));
 
   FrameWorkspace ws = FrameWorkspace::materialized(side, config.rs_n, il.active());
+  const std::uint64_t capacity = il.capacity_symbols();
 
   const std::uint64_t host_start = perf::now_ns();
   perf::AllocationScope alloc_scope;
@@ -256,8 +256,12 @@ void run_frames_materialized(const PipelineConfig& config,
     // — no copies at all.
     std::vector<std::uint8_t>& wire = il.active() ? ws.tx : ws.stream;
     if (il.active()) il.forward_into(ws.stream, ws.tx);
-    if (ch) {
-      result.channel_symbol_errors += ch->apply(wire, channel_rng);
+    if (src != nullptr) {
+      // The wire position advances contiguously frame to frame, so the
+      // source's channel state stays continuous in symbol time exactly as
+      // the channel did when the pipeline drove it directly.
+      result.channel_symbol_errors +=
+          src->corrupt(static_cast<std::uint64_t>(f) * capacity, wire);
       result.channel_symbols += wire.size();
     }
     const std::vector<std::uint8_t>* rx = &wire;
@@ -270,38 +274,33 @@ void run_frames_materialized(const PipelineConfig& config,
   result.host_ns = perf::now_ns() - host_start;
   result.steady_allocations = config.frames > 1 ? alloc_scope.allocations() : 0;
   result.steady_frames = config.frames - 1;
-  result.workspace_peak_bytes = ws.allocated_bytes();
+  result.workspace_peak_bytes =
+      ws.allocated_bytes() + (src != nullptr ? src->scratch_bytes() : 0);
 }
 
 /// Streaming path: frame size decoupled from the code word, bounded
 /// memory. Full RS(n, k) words are packed back to back into the
 /// interleaver capacity (a sub-word tail stays zero padding).
 ///
-/// The trick that avoids materializing the frame: every Channel corrupts
-/// a symbol by XORing a guaranteed non-zero flip, and its RNG draws do
-/// not depend on the symbol values. Running the channel over a *zeroed*
-/// chunk buffer in wire order therefore yields exactly the corruption
-/// pattern — position and flip — of the real transmission. Each hit is
-/// mapped back to its input position through the interleaver's O(1)
-/// inverse; words with no hits decode trivially and are only counted,
-/// words with hits are regenerated from their per-word seed, re-encoded,
-/// corrupted and decoded for real.
+/// The trick that avoids materializing the frame: corruption is sparse
+/// and data-independent, so the source yields the exact (position, flip)
+/// event stream of the real transmission without the frame ever
+/// existing. Each event is mapped back to its input position through the
+/// interleaver's O(1) inverse; words with no hits decode trivially and
+/// are only counted, words with hits are regenerated from their per-word
+/// seed, re-encoded, corrupted and decoded for real.
 void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& rs,
-                          const StreamInterleaver& il, channel::Channel* ch,
+                          const StreamInterleaver& il, source::ErrorSource* src,
                           PipelineResult& result) {
   const unsigned n = rs.n();
   const unsigned k = rs.k();
   const std::uint64_t capacity = il.capacity_symbols();
   const std::uint64_t words_per_frame = capacity / n;
-  const std::uint64_t chunk_symbols = config.stream_chunk_symbols != 0
-                                          ? config.stream_chunk_symbols
-                                          : kDefaultChunkSymbols;
 
   const std::uint64_t data_root = job_seed(config.seed, 0);
-  Rng channel_rng(job_seed(config.seed, 1));
   Rng word_rng;
 
-  FrameWorkspace ws = FrameWorkspace::streaming(n, k, chunk_symbols);
+  FrameWorkspace ws = FrameWorkspace::streaming(n, k);
   std::uint8_t* word = ws.word.data();
 
   const std::uint64_t host_start = perf::now_ns();
@@ -310,20 +309,18 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
     // Frame 0 is the warm-up (chunk/hits growth, decoder scratch); the
     // steady-state window starts after it.
     if (f == 1) alloc_scope.restart();
-    // --- channel pass, wire order, bounded chunks --------------------------
+    // --- source pass, wire order -------------------------------------------
     ws.hits.clear();
-    if (ch != nullptr) {
+    if (src != nullptr) {
       result.channel_symbols += capacity;
-      for (std::uint64_t pos = 0; pos < capacity; pos += chunk_symbols) {
-        const std::uint64_t len = std::min(chunk_symbols, capacity - pos);
-        ws.chunk.assign(len, 0);
-        result.channel_symbol_errors += ch->apply(ws.chunk, channel_rng);
-        for (std::uint64_t i = 0; i < len; ++i) {
-          if (ws.chunk[i] != 0) {
-            ws.hits.push_back({il.wire_to_input(pos + i), ws.chunk[i]});
-          }
-        }
-      }
+      const std::uint64_t frame_base = static_cast<std::uint64_t>(f) * capacity;
+      auto to_hit = [&ws, &il, frame_base](const source::Corruption& e) {
+        ws.hits.push_back({il.wire_to_input(e.wire_pos - frame_base), e.flip});
+      };
+      result.channel_symbol_errors += src->events(frame_base, capacity, to_hit);
+      // A composite source interleaves its links' event streams, so sort
+      // unconditionally; the input indices are a permutation of distinct
+      // wire positions and never tie.
       std::sort(ws.hits.begin(), ws.hits.end(),
                 [](const ErrorHit& a, const ErrorHit& b) {
                   return a.input_index < b.input_index;
@@ -370,7 +367,8 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
   result.host_ns = perf::now_ns() - host_start;
   result.steady_allocations = config.frames > 1 ? alloc_scope.allocations() : 0;
   result.steady_frames = config.frames - 1;
-  result.workspace_peak_bytes = ws.allocated_bytes();
+  result.workspace_peak_bytes =
+      ws.allocated_bytes() + (src != nullptr ? src->scratch_bytes() : 0);
 }
 
 }  // namespace
@@ -388,6 +386,9 @@ PipelineConfig fer_cell_config(const PipelineConfig& base, const Scenario& scena
   config.mapping_spec = scenario.mapping_spec;
   if (scenario.symbols_per_burst != 0) {
     config.symbols_per_burst = scenario.symbols_per_burst;
+  }
+  if (scenario.links != 0) {
+    config.links = scenario.links;
   }
   // The DRAM stage only exists for DRAM-resident interleavers; narrow the
   // template's run_dram so mixed grids stay valid.
@@ -434,6 +435,57 @@ std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config) {
   throw std::invalid_argument("pipeline: unknown channel '" + config.channel + "'");
 }
 
+std::unique_ptr<source::ErrorSource> make_source(const PipelineConfig& config) {
+  if (config.links == 0) {
+    throw std::invalid_argument("pipeline: links must be >= 1");
+  }
+  if (!config.trace_replay.empty() && config.channel != "trace") {
+    throw std::invalid_argument(
+        "pipeline: trace_replay is only read when channel == 'trace'");
+  }
+  std::unique_ptr<source::ErrorSource> src;
+  if (config.channel == "trace") {
+    if (config.trace_replay.empty()) {
+      throw std::invalid_argument(
+          "pipeline: channel 'trace' needs a trace_replay path");
+    }
+    src = source::TraceReplaySource::open(config.trace_replay);
+  } else if (config.channel != "none") {
+    const std::uint64_t chunk = config.stream_chunk_symbols != 0
+                                    ? config.stream_chunk_symbols
+                                    : kDefaultChunkSymbols;
+    // Same stream split as the pre-source pipeline: index 1 off the cell
+    // seed is the channel stream (index 0 is data), so a single link
+    // reproduces the legacy channel_rng draws bit for bit.
+    const std::uint64_t channel_root = job_seed(config.seed, 1);
+    const auto factory = [config]() { return make_channel(config); };
+    if (config.links == 1) {
+      src = std::make_unique<source::ChannelSource>(factory, channel_root, chunk);
+    } else {
+      // Per-link chunks shrink with the link count so N links hold about
+      // the same total scratch as one.
+      const std::uint64_t link_chunk =
+          std::max<std::uint64_t>(4096, chunk / config.links);
+      std::vector<source::MultiLinkSource::Link> links(config.links);
+      for (unsigned l = 0; l < config.links; ++l) {
+        links[l].source = std::make_unique<source::ChannelSource>(
+            factory, job_seed(channel_root, l), link_chunk);
+        links[l].phase_offset =
+            static_cast<std::uint64_t>(l) * config.link_phase_symbols;
+      }
+      src = std::make_unique<source::MultiLinkSource>(std::move(links));
+    }
+  }
+  if (!config.trace_record.empty()) {
+    if (!src) {
+      throw std::invalid_argument(
+          "pipeline: trace_record needs a channel to record");
+    }
+    src = source::RecordingSource::to_file(std::move(src), config.trace_record);
+  }
+  return src;
+}
+
 PipelineResult run_pipeline(const PipelineConfig& config,
                             const fec::ReedSolomon& rs) {
   if (rs.n() != config.rs_n || rs.k() != config.rs_k) {
@@ -445,7 +497,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
 
   const std::uint64_t side = config.side != 0 ? config.side : config.rs_n;
   const StreamInterleaver il(config.interleaver, side, config.symbols_per_burst);
-  const auto ch = make_channel(config);
+  const auto src = make_source(config);
 
   PipelineResult result;
   result.frames = config.frames;
@@ -459,9 +511,9 @@ PipelineResult run_pipeline(const PipelineConfig& config,
       throw std::invalid_argument(
           "pipeline: side too small for one RS code word");
     }
-    run_frames_streaming(config, rs, il, ch.get(), result);
+    run_frames_streaming(config, rs, il, src.get(), result);
   } else {
-    run_frames_materialized(config, rs, il, side, ch.get(), result);
+    run_frames_materialized(config, rs, il, side, src.get(), result);
   }
 
   // DRAM stage: honored for every DRAM-resident interleaver. "block" is

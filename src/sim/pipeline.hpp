@@ -35,13 +35,14 @@
 #include "fec/reed_solomon.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
+#include "source/source.hpp"
 
 namespace tbi::sim {
 
 struct PipelineConfig {
   // --- data path -----------------------------------------------------------
   std::string interleaver = "triangular";  ///< "none" | "triangular" | "block" | "two-stage"
-  std::string channel = "gilbert-elliott"; ///< "none" | "bsc" | "gilbert-elliott" | "leo"
+  std::string channel = "gilbert-elliott"; ///< "none" | "bsc" | "gilbert-elliott" | "leo" | "trace"
   unsigned rs_n = 255;                     ///< code word length (symbols)
   unsigned rs_k = 223;                     ///< data symbols per code word
   unsigned frames = 20;                    ///< triangular blocks to simulate
@@ -69,6 +70,22 @@ struct PipelineConfig {
   double mean_burst_symbols = 400;  ///< gilbert-elliott: mean fade length;
                                     ///< leo: coherence length in symbols
   double error_rate_bad = 0.5;      ///< symbol error rate inside a fade
+
+  // --- burst source (src/source/) ------------------------------------------
+  /// Ingested downlinks sharing the wire (>= 1). 1 = the classic single
+  /// channel stream; N > 1 interleaves N independent channel instances
+  /// symbol-round-robin (global wire position p carries link p % N), each
+  /// link seeded deterministically from the cell seed. See
+  /// source::MultiLinkSource.
+  unsigned links = 1;
+  /// Staggered acquisition: link l starts at local stream position
+  /// l * link_phase_symbols. 0 = all links phase-aligned.
+  std::uint64_t link_phase_symbols = 0;
+  /// When non-empty, tee every corruption event into this burst-trace
+  /// file (source::RecordingSource) for later replay.
+  std::string trace_record;
+  /// Burst-trace file replayed as the channel when channel == "trace".
+  std::string trace_replay;
 
   // --- DRAM stage (DRAM-resident interleavers: triangular, two-stage) ------
   /// Execute the interleaver's write/read phases on the simulated memory
@@ -138,6 +155,14 @@ struct PipelineResult {
 /// Symbols are RS code-word bytes, so all channels run with 8 symbol bits.
 std::unique_ptr<channel::Channel> make_channel(const PipelineConfig& config);
 
+/// Burst-source factory ("none" -> nullptr): wraps the channel axis in a
+/// source::ChannelSource (links == 1, byte-identical to the channel
+/// running in place), composes links > 1 into a MultiLinkSource with
+/// per-link seeds derived from the cell seed, replays a recorded trace
+/// for channel == "trace", and tees events through a RecordingSource
+/// when trace_record is set.
+std::unique_ptr<source::ErrorSource> make_source(const PipelineConfig& config);
+
 /// True for interleavers whose buffer lives in simulated DRAM
 /// ("triangular", "two-stage") — the ones run_dram applies to.
 bool dram_resident_interleaver(const std::string& kind);
@@ -168,9 +193,10 @@ PipelineResult run_pipeline(const PipelineConfig& config, const fec::ReedSolomon
 struct FerSweepOptions {
   SweepOptions sweep;
   /// Template for every cell; device / mapping_spec / interleaver /
-  /// channel / rs_k / symbols_per_burst are overridden per scenario, the
-  /// seed is replaced by the deterministic per-job seed, and run_dram is
-  /// narrowed to the cells whose interleaver is DRAM-resident.
+  /// channel / rs_k / symbols_per_burst / links are overridden per
+  /// scenario, the seed is replaced by the deterministic per-job seed,
+  /// and run_dram is narrowed to the cells whose interleaver is
+  /// DRAM-resident.
   PipelineConfig base;
 };
 

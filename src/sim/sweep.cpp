@@ -114,10 +114,12 @@ std::string Scenario::label() const {
   // two distinct cells can never share a label (eliding "triangular" or
   // the rs_k of channel-free cells used to collide e.g. distinct rs_k
   // cells under channel == "none"). Only the optional symbols_per_burst
-  // axis is elided, and only in its single "unset" state (0).
+  // and links axes are elided, and only in their single "unset" state (0).
   std::string s = device + "/" + mapping_spec + "/" + interleaver;
   if (symbols_per_burst != 0) s += "/spb" + std::to_string(symbols_per_burst);
-  s += "/" + channel + "/RS(255," + std::to_string(rs_k) + ")";
+  s += "/" + channel;
+  if (links != 0) s += "/links" + std::to_string(links);
+  s += "/RS(255," + std::to_string(rs_k) + ")";
   return s;
 }
 
@@ -133,7 +135,7 @@ SweepGrid SweepGrid::paper_bandwidth_grid() {
 std::uint64_t SweepGrid::size() const {
   return static_cast<std::uint64_t>(devices.size()) * mapping_specs.size() *
          interleavers.size() * channels.size() * rs_ks.size() *
-         symbols_per_bursts.size();
+         symbols_per_bursts.size() * links.size();
 }
 
 Scenario SweepGrid::cell(std::uint64_t index) const {
@@ -141,14 +143,15 @@ Scenario SweepGrid::cell(std::uint64_t index) const {
     throw std::out_of_range("SweepGrid::cell: index " + std::to_string(index) +
                             " out of " + std::to_string(size()));
   }
-  // expand() is row-major with symbols_per_bursts innermost, so the index
-  // peels off axis digits from the inside out.
+  // expand() is row-major with links innermost, so the index peels off
+  // axis digits from the inside out.
   const auto digit = [&index](std::uint64_t radix) {
     const std::uint64_t d = index % radix;
     index /= radix;
     return d;
   };
   Scenario s;
+  s.links = links[digit(links.size())];
   s.symbols_per_burst = symbols_per_bursts[digit(symbols_per_bursts.size())];
   s.rs_k = rs_ks[digit(rs_ks.size())];
   s.channel = channels[digit(channels.size())];
@@ -167,14 +170,17 @@ std::vector<Scenario> SweepGrid::expand() const {
         for (const auto& ch : channels) {
           for (const unsigned k : rs_ks) {
             for (const std::uint64_t spb : symbols_per_bursts) {
-              Scenario s;
-              s.device = device;
-              s.mapping_spec = mapping;
-              s.interleaver = il;
-              s.channel = ch;
-              s.rs_k = k;
-              s.symbols_per_burst = spb;
-              cells.push_back(std::move(s));
+              for (const unsigned lk : links) {
+                Scenario s;
+                s.device = device;
+                s.mapping_spec = mapping;
+                s.interleaver = il;
+                s.channel = ch;
+                s.rs_k = k;
+                s.symbols_per_burst = spb;
+                s.links = lk;
+                cells.push_back(std::move(s));
+              }
             }
           }
         }
