@@ -23,9 +23,18 @@
 /// their frames are spb x larger than the RS-255 triangle of the classic
 /// rows.
 ///
+/// Fleet mode: `--listen HOST:PORT` adopts remote TCP workers started
+/// with `--connect HOST:PORT` instead of forking local ones; `--shard
+/// I/N` computes one contiguous slice of the grid into its own manifest
+/// and `--merge-shards M1,M2,..` reassembles the slices into output
+/// byte-identical (under --stable-json) to a single-process run.
+///
 /// Usage: bench_fer [--device NAME] [--frames N] [--seed S] [--threads T]
 ///                  [--workers N] [--resume] [--fade-prob P]
 ///                  [--burst-symbols B] [--side S] [--spb B] [--links N]
+///                  [--listen HOST:PORT | --connect HOST:PORT]
+///                  [--worker-timeout-ms MS] [--accept-timeout-ms MS]
+///                  [--shard I/N] [--merge-shards M1,M2,..]
 ///                  [--markdown] [--progress] [--json FILE] [--stable-json]
 #include <chrono>
 #include <csignal>
@@ -37,6 +46,7 @@
 #include "dram/standards.hpp"
 #include "perf/counters.hpp"
 #include "sim/dsweep.hpp"
+#include "sim/manifest.hpp"
 #include "sim/pipeline.hpp"
 
 namespace {
@@ -54,6 +64,11 @@ int main(int argc, char** argv) {
   if (worker_fd >= 0) {
     return tbi::sim::dsweep_worker_main(worker_fd);
   }
+  // Remote-worker invocation: dial the fleet driver and serve cells.
+  const std::string connect_spec = tbi::sim::dsweep_worker_connect_arg(argc, argv);
+  if (!connect_spec.empty()) {
+    return tbi::sim::dsweep_worker_connect(connect_spec);
+  }
 
   tbi::CliParser cli("bench_fer", "FER sweep: interleaver x channel x code rate");
   cli.add_option("device", "name", "DRAM device (default LPDDR5-8533)");
@@ -67,6 +82,16 @@ int main(int argc, char** argv) {
   cli.add_option("side", "s", "interleaver side (0 = RS-255 triangle; bursts for two-stage)");
   cli.add_option("spb", "b", "two-stage symbols per DRAM burst (default 64)");
   cli.add_option("links", "n", "downlinks interleaved on the wire (default 1)");
+  cli.add_option("listen", "h:p", "adopt remote TCP workers (fleet driver mode)");
+  cli.add_option("connect", "h:p", "serve a --listen driver as a remote worker");
+  cli.add_option("worker-timeout-ms", "ms",
+                 "declare a silent worker dead/partitioned after this long (default 5000)");
+  cli.add_option("accept-timeout-ms", "ms",
+                 "--listen: run in-process when no worker connects for this long "
+                 "(default 10000)");
+  cli.add_option("shard", "i/n", "compute only shard i of n (needs --json)");
+  cli.add_option("merge-shards", "m1,m2,..",
+                 "merge shard manifests into the full result (no compute)");
   cli.add_option("markdown", "", "print GitHub markdown");
   cli.add_option("progress", "", "print sweep progress to stderr");
   cli.add_option("json", "file", "write config + wall time + records as JSON");
@@ -125,6 +150,33 @@ int main(int argc, char** argv) {
   if (cli.has("json")) {
     dist.manifest_path = cli.get("json", "") + ".manifest";
   }
+  dist.listen = cli.get("listen", "");
+  const std::int64_t worker_timeout = cli.get_int("worker-timeout-ms", 5000);
+  if (worker_timeout <= 0) {
+    std::fprintf(stderr, "error: --worker-timeout-ms must be positive\n");
+    return 1;
+  }
+  dist.heartbeat_timeout_ms = static_cast<unsigned>(worker_timeout);
+  const std::int64_t accept_timeout = cli.get_int("accept-timeout-ms", 10000);
+  if (accept_timeout <= 0) {
+    std::fprintf(stderr, "error: --accept-timeout-ms must be positive\n");
+    return 1;
+  }
+  dist.accept_timeout_ms = static_cast<unsigned>(accept_timeout);
+  if (cli.has("shard")) {
+    try {
+      tbi::sim::parse_shard_spec(cli.get("shard", ""), &dist.shard_index,
+                                 &dist.shard_count);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    if (!cli.has("json")) {
+      std::fprintf(stderr, "error: --shard needs --json (the shard's output is "
+                           "its manifest)\n");
+      return 1;
+    }
+  }
   dist.cancel = &g_cancel;
   if (cli.has("progress")) {
     dist.progress = [](const tbi::sim::SweepProgress& p) {
@@ -141,8 +193,24 @@ int main(int argc, char** argv) {
   tbi::sim::FerDistResult sweep;
   const auto wall_start = std::chrono::steady_clock::now();
   try {
-    dist.faults = tbi::sim::FaultSpec::from_env();
-    sweep = tbi::sim::run_fer_sweep_dist(grid, options, dist);
+    if (cli.has("merge-shards")) {
+      // Reassemble shard manifests; the records then flow through the
+      // exact same formatting path as a computed sweep, so the merged
+      // document is byte-identical (under --stable-json) to an unsharded
+      // run.
+      std::vector<std::string> paths;
+      const std::string spec = cli.get("merge-shards", "");
+      for (std::size_t pos = 0; pos <= spec.size();) {
+        const auto comma = spec.find(',', pos);
+        const auto end = comma == std::string::npos ? spec.size() : comma;
+        if (end > pos) paths.push_back(spec.substr(pos, end - pos));
+        pos = end + 1;
+      }
+      sweep = tbi::sim::run_fer_merge_shards(grid, options, paths);
+    } else {
+      dist.faults = tbi::sim::FaultSpec::from_env();
+      sweep = tbi::sim::run_fer_sweep_dist(grid, options, dist);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -236,7 +304,10 @@ int main(int argc, char** argv) {
     if (!tbi::Json::write_file(cli.get("json", ""), doc)) {
       return 1;
     }
-    if (!interrupted && !dist.manifest_path.empty()) {
+    // A completed shard's manifest IS its output (--merge-shards consumes
+    // it), so only unsharded compute runs discard the checkpoint.
+    if (!interrupted && !dist.manifest_path.empty() && dist.shard_count == 1 &&
+        !cli.has("merge-shards")) {
       std::remove(dist.manifest_path.c_str());  // checkpoint served its purpose
     }
   }

@@ -37,7 +37,14 @@
 ///
 /// Usage: experiment_runner --config FILE [--output FILE]
 ///                          [--workers N] [--resume]
+///                          [--listen HOST:PORT | --connect HOST:PORT]
+///                          [--worker-timeout-ms MS] [--shard I/N]
 ///        experiment_runner --print-default-config
+///
+/// `--listen` adopts remote TCP workers (started with `--connect`)
+/// instead of forking local ones; `--shard I/N` computes one contiguous
+/// slice of the batch into its own manifest. The "fer" config object also
+/// accepts "worker_timeout_ms".
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -46,6 +53,7 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "sim/dsweep.hpp"
+#include "sim/manifest.hpp"
 #include "sim/pipeline.hpp"
 
 namespace {
@@ -115,6 +123,13 @@ tbi::Json run_fer_experiment(const tbi::Json& fer, tbi::sim::DsweepOptions& dist
   options.base.error_rate_bad = fer.get_or("error_rate_bad", 0.95);
   options.base.link_phase_symbols =
       static_cast<std::uint64_t>(fer.get_or("link_phase_symbols", 0.0));
+  if (fer.contains("worker_timeout_ms")) {
+    const double timeout = fer.at("worker_timeout_ms").as_double();
+    if (timeout <= 0) {
+      throw std::invalid_argument("fer.worker_timeout_ms must be positive");
+    }
+    dist.heartbeat_timeout_ms = static_cast<unsigned>(timeout);
+  }
 
   const auto sweep = tbi::sim::run_fer_sweep_dist(grid, options, dist);
   interrupted = sweep.stats.interrupted;
@@ -155,12 +170,21 @@ int main(int argc, char** argv) {
   if (worker_fd >= 0) {
     return tbi::sim::dsweep_worker_main(worker_fd);
   }
+  const std::string connect_spec = tbi::sim::dsweep_worker_connect_arg(argc, argv);
+  if (!connect_spec.empty()) {
+    return tbi::sim::dsweep_worker_connect(connect_spec);
+  }
 
   tbi::CliParser cli("experiment_runner", "JSON-driven simulation batches");
   cli.add_option("config", "file", "JSON experiment description");
   cli.add_option("output", "file", "write results to file (default stdout)");
   cli.add_option("workers", "N", "worker processes (default 1 = in-process)");
   cli.add_option("resume", "", "skip runs recorded in the --output manifest");
+  cli.add_option("listen", "h:p", "adopt remote TCP workers (fleet driver mode)");
+  cli.add_option("connect", "h:p", "serve a --listen driver as a remote worker");
+  cli.add_option("worker-timeout-ms", "ms",
+                 "declare a silent worker dead/partitioned after this long (default 5000)");
+  cli.add_option("shard", "i/n", "compute only shard i of n (needs --output)");
   cli.add_option("print-default-config", "", "emit a starter config and exit");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(), cli.usage().c_str());
@@ -207,6 +231,22 @@ int main(int argc, char** argv) {
     if (cli.has("output")) {
       dist.manifest_path = cli.get("output", "") + ".manifest";
     }
+    dist.listen = cli.get("listen", "");
+    const std::int64_t worker_timeout = cli.get_int("worker-timeout-ms", 5000);
+    if (worker_timeout <= 0) {
+      std::fprintf(stderr, "error: --worker-timeout-ms must be positive\n");
+      return 1;
+    }
+    dist.heartbeat_timeout_ms = static_cast<unsigned>(worker_timeout);
+    if (cli.has("shard")) {
+      tbi::sim::parse_shard_spec(cli.get("shard", ""), &dist.shard_index,
+                                 &dist.shard_count);
+      if (!cli.has("output")) {
+        std::fprintf(stderr, "error: --shard needs --output (the shard's result "
+                             "is its manifest)\n");
+        return 1;
+      }
+    }
     dist.cancel = &g_cancel;
     dist.faults = tbi::sim::FaultSpec::from_env();
 
@@ -248,7 +288,7 @@ int main(int argc, char** argv) {
     if (!tbi::Json::write_file(cli.get("output", ""), results)) {
       return 1;
     }
-    if (!interrupted && !dist.manifest_path.empty()) {
+    if (!interrupted && !dist.manifest_path.empty() && dist.shard_count == 1) {
       std::remove(dist.manifest_path.c_str());
     }
   } else {

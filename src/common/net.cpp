@@ -1,0 +1,198 @@
+#include "common/net.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tbi::net {
+
+namespace {
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+struct AddrList {
+  struct addrinfo* head = nullptr;
+  ~AddrList() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+bool resolve(const std::string& spec, bool passive, AddrList* out, std::string* err) {
+  std::string host;
+  std::string port;
+  if (!split_hostport(spec, &host, &port, err)) return false;
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const char* node = host.empty() ? nullptr : host.c_str();
+  if (!passive && node == nullptr) {
+    if (err != nullptr) *err = "connect address '" + spec + "' needs a host";
+    return false;
+  }
+  const int rc = ::getaddrinfo(node, port.c_str(), &hints, &out->head);
+  if (rc != 0) {
+    if (err != nullptr) {
+      *err = "cannot resolve '" + spec + "': " + ::gai_strerror(rc);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  struct sigaction sa = {};
+  sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? flags | O_NONBLOCK : flags & ~O_NONBLOCK;
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool split_hostport(const std::string& spec, std::string* host, std::string* port,
+                    std::string* err) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    if (err != nullptr) *err = "address '" + spec + "' is not host:port";
+    return false;
+  }
+  std::string h = spec.substr(0, colon);
+  const std::string p = spec.substr(colon + 1);
+  // IPv6 literals arrive bracketed ("[::1]:9000"); strip for getaddrinfo.
+  if (h.size() >= 2 && h.front() == '[' && h.back() == ']') {
+    h = h.substr(1, h.size() - 2);
+  }
+  if (p.empty() || p.find_first_not_of("0123456789") != std::string::npos) {
+    if (err != nullptr) *err = "address '" + spec + "' has a non-numeric port";
+    return false;
+  }
+  const unsigned long v = std::strtoul(p.c_str(), nullptr, 10);
+  if (v > 65535) {
+    if (err != nullptr) *err = "address '" + spec + "' port out of range";
+    return false;
+  }
+  *host = h;
+  *port = p;
+  return true;
+}
+
+int listen_tcp(const std::string& spec, std::string* err) {
+  AddrList addrs;
+  if (!resolve(spec, /*passive=*/true, &addrs, err)) return -1;
+  int last_errno = 0;
+  for (const struct addrinfo* a = addrs.head; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 && ::listen(fd, 16) == 0 &&
+        set_nonblocking(fd, true)) {
+      set_cloexec(fd);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  if (err != nullptr) {
+    *err = "cannot listen on '" + spec + "': " + std::strerror(last_errno);
+  }
+  return -1;
+}
+
+int accept_tcp(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_cloexec(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // EAGAIN (nothing pending) or a transient accept error
+  }
+}
+
+int connect_tcp(const std::string& spec, unsigned timeout_ms, std::string* err) {
+  AddrList addrs;
+  if (!resolve(spec, /*passive=*/false, &addrs, err)) return -1;
+  int last_errno = 0;
+  for (const struct addrinfo* a = addrs.head; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    set_cloexec(fd);
+    set_nonblocking(fd, true);
+    int rc;
+    do {
+      rc = ::connect(fd, a->ai_addr, a->ai_addrlen);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0 && errno == EINPROGRESS) {
+      struct pollfd p{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&p, 1, static_cast<int>(timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready > 0) {
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        rc = soerr == 0 ? 0 : -1;
+        if (rc < 0) last_errno = soerr;
+      } else {
+        rc = -1;
+        last_errno = ETIMEDOUT;
+      }
+    } else if (rc < 0) {
+      last_errno = errno;
+    }
+    if (rc == 0) {
+      set_nonblocking(fd, false);
+      set_tcp_nodelay(fd);
+      return fd;
+    }
+    ::close(fd);
+  }
+  if (err != nullptr) {
+    *err = "cannot connect to '" + spec + "': " + std::strerror(last_errno);
+  }
+  return -1;
+}
+
+std::uint16_t local_port(int fd) {
+  struct sockaddr_storage ss = {};
+  socklen_t len = sizeof ss;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&ss), &len) != 0) return 0;
+  if (ss.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port);
+  }
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port);
+  }
+  return 0;
+}
+
+}  // namespace tbi::net

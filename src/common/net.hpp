@@ -1,0 +1,57 @@
+/// \file net.hpp
+/// Minimal TCP plumbing for the distributed sweep transport
+/// (sim/net_transport.hpp): listen/accept/connect with the failure
+/// semantics the driver needs — nonblocking accept for the poll loop,
+/// bounded connect timeouts, EINTR retries everywhere, and SIGPIPE
+/// ignored process-wide so a dead peer surfaces as a write() error
+/// handled by the reassignment path instead of killing the process.
+///
+/// Address syntax is "host:port" ("[::1]:port" for IPv6 literals); an
+/// empty host listens on the wildcard address. Port 0 binds an ephemeral
+/// port — `local_port` reports what the kernel picked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tbi::net {
+
+/// Ignore SIGPIPE for the whole process (idempotent). Both the sweep
+/// driver and its workers call this on entry: `write_all` already uses
+/// MSG_NOSIGNAL on sockets, but any other descriptor a dead peer leaves
+/// behind must fail with EPIPE, not a fatal signal.
+void ignore_sigpipe();
+
+bool set_nonblocking(int fd, bool on);
+
+/// Disable Nagle on a TCP socket: the sweep protocol is small
+/// latency-sensitive frames (Assign, Heartbeat), not bulk transfer.
+void set_tcp_nodelay(int fd);
+
+/// Split "host:port" at the last ':' (IPv6 literals in brackets).
+/// Returns false (and fills \p err) when there is no port, the port is
+/// not numeric, or it is out of range.
+bool split_hostport(const std::string& spec, std::string* host, std::string* port,
+                    std::string* err);
+
+/// Bind + listen on \p spec. Returns a nonblocking, close-on-exec
+/// listening fd, or -1 with \p err filled. SO_REUSEADDR is set so a
+/// restarted driver can rebind its port immediately.
+int listen_tcp(const std::string& spec, std::string* err);
+
+/// Accept one pending connection from a nonblocking listener. Returns
+/// the connected fd, or -1 when none is pending (or on error). EINTR is
+/// retried; the returned fd is close-on-exec but keeps the caller's
+/// choice of blocking mode.
+int accept_tcp(int listen_fd);
+
+/// Connect to \p spec with a bounded timeout. Returns a blocking,
+/// close-on-exec, TCP_NODELAY fd, or -1 with \p err filled. All
+/// resolved addresses are tried in order.
+int connect_tcp(const std::string& spec, unsigned timeout_ms, std::string* err);
+
+/// Local port a bound socket ended up on (0 on error) — how callers
+/// discover the ephemeral port picked for "host:0".
+std::uint16_t local_port(int fd);
+
+}  // namespace tbi::net

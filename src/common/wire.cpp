@@ -41,15 +41,30 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-}  // namespace
-
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+std::uint32_t crc_feed(std::uint32_t c, const std::uint8_t* data, std::size_t size) {
   const std::uint32_t* t = crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < size; ++i) {
     c = t[(c ^ data[i]) & 0xFF] ^ (c >> 8);
   }
-  return c ^ 0xFFFFFFFFu;
+  return c;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  return crc_feed(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t frame_crc(FrameType type, const std::uint8_t* payload, std::size_t size) {
+  std::uint8_t head[5];
+  head[0] = static_cast<std::uint8_t>(type);
+  const auto len = static_cast<std::uint32_t>(size);
+  head[1] = static_cast<std::uint8_t>(len);
+  head[2] = static_cast<std::uint8_t>(len >> 8);
+  head[3] = static_cast<std::uint8_t>(len >> 16);
+  head[4] = static_cast<std::uint8_t>(len >> 24);
+  std::uint32_t c = crc_feed(0xFFFFFFFFu, head, sizeof head);
+  return crc_feed(c, payload, size) ^ 0xFFFFFFFFu;
 }
 
 std::vector<std::uint8_t> encode_frame(FrameType type, const std::uint8_t* payload,
@@ -59,7 +74,7 @@ std::vector<std::uint8_t> encode_frame(FrameType type, const std::uint8_t* paylo
   put_u32(out, kMagic);
   out.push_back(static_cast<std::uint8_t>(type));
   put_u32(out, static_cast<std::uint32_t>(size));
-  put_u32(out, crc32(payload, size));
+  put_u32(out, frame_crc(type, payload, size));
   out.insert(out.end(), payload, payload + size);
   return out;
 }
@@ -133,7 +148,7 @@ FrameReader::Status FrameReader::next(Frame* out) {
   }
   if (avail < kHeaderBytes + len) return Status::NeedMore;
   const std::uint8_t* payload = h + kHeaderBytes;
-  if (crc32(payload, len) != crc) {
+  if (frame_crc(static_cast<FrameType>(type), payload, len) != crc) {
     corrupt_ = true;
     return Status::Corrupt;
   }

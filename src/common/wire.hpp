@@ -2,12 +2,14 @@
 /// Length-prefixed, CRC-checked message framing for the multi-process
 /// sweep backend (src/sim/dsweep.hpp).
 ///
-/// A frame is `magic u32 | type u8 | payload_len u32 | payload_crc32 u32`
-/// (all little-endian) followed by the payload bytes. The stream carrier
-/// is a local socketpair, so corruption "should" be impossible — the CRC
-/// exists because the fault-injection harness deliberately corrupts and
-/// truncates batches, and the parent must detect both and recover by
-/// discarding the worker, not by merging garbage records.
+/// A frame is `magic u32 | type u8 | payload_len u32 | crc32 u32` (all
+/// little-endian) followed by the payload bytes. The CRC covers the type
+/// byte, the length field and the payload, so any single-bit corruption
+/// of a frame — header or body — is detected. Stream carriers are local
+/// socketpairs (sim/dsweep.hpp) and TCP connections to remote workers
+/// (sim/net_transport.hpp); the fault-injection harness deliberately
+/// corrupts and truncates batches, and the parent must detect both and
+/// recover by discarding the worker, not by merging garbage records.
 ///
 /// `FrameReader` is an incremental decoder built for the parent's
 /// nonblocking poll loop: feed it whatever bytes arrived, pull complete
@@ -28,16 +30,26 @@ enum class FrameType : std::uint8_t {
   Heartbeat = 4,  ///< worker -> parent: liveness, empty payload
   Done = 5,       ///< parent -> worker: no more cells, exit cleanly
   Error = 6,      ///< worker -> parent: deterministic kernel failure
+  Hello = 7,      ///< remote worker -> driver: {"proto": V, "fingerprint": F}
+  Reject = 8,     ///< driver -> remote worker: handshake refused (reason)
 };
 
 constexpr std::uint32_t kMagic = 0x31494254u;  // "TBI1" on the wire (LE)
 constexpr std::size_t kHeaderBytes = 13;       // magic + type + len + crc
+/// Wire protocol version, exchanged in the TCP Hello handshake. Bump on
+/// any framing or message-semantics change (v2: CRC covers the header's
+/// type + length fields, not just the payload).
+constexpr std::uint32_t kProtocolVersion = 2;
 /// Sanity bound on payload size: a length field past this is treated as
 /// stream corruption, not an allocation request.
 constexpr std::uint32_t kMaxPayload = 64u << 20;
 
 /// IEEE CRC-32 (the zlib polynomial) over \p size bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// The CRC a frame of \p type carrying \p payload puts in its header:
+/// CRC-32 over `type u8 | payload_len u32 (LE) | payload`.
+std::uint32_t frame_crc(FrameType type, const std::uint8_t* payload, std::size_t size);
 
 struct Frame {
   FrameType type = FrameType::Heartbeat;

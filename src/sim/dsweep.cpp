@@ -16,13 +16,17 @@
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "common/net.hpp"
 #include "common/wire.hpp"
 #include "perf/counters.hpp"
 #include "sim/manifest.hpp"
+#include "sim/net_transport.hpp"
+#include "sim/transport.hpp"
 
 namespace tbi::sim {
 
@@ -59,19 +63,78 @@ std::string self_exe() {
 }
 
 // ---------------------------------------------------------------------------
+// Fork/exec transport: the original local backend behind the Transport
+// interface. acquire() spawns a worker process re-invoking the current
+// binary with --worker-fd over a socketpair; release() SIGKILLs and
+// reaps it.
+// ---------------------------------------------------------------------------
+
+class ForkTransport : public Transport {
+ public:
+  ForkTransport(std::string exe, unsigned slots) : exe_(std::move(exe)), pids_(slots, -1) {}
+  ~ForkTransport() override {
+    for (unsigned s = 0; s < pids_.size(); ++s) release(s, -1);
+  }
+
+  const char* name() const override { return "fork"; }
+  bool transient_acquire() const override { return false; }
+
+  int acquire(unsigned slot) override {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return -1;
+    // Parent end: close-on-exec (later spawns must not leak it into
+    // sibling workers) and nonblocking for the poll loop. The worker end
+    // stays inheritable — it must survive the exec.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
+    char fdbuf[16];
+    std::snprintf(fdbuf, sizeof fdbuf, "%d", sv[1]);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return -1;
+    }
+    if (pid == 0) {
+      // Child: async-signal-safe territory only until exec.
+      const char* argv[] = {exe_.c_str(), "--worker-fd", fdbuf, nullptr};
+      ::execv(exe_.c_str(), const_cast<char* const*>(argv));
+      ::_exit(127);
+    }
+    ::close(sv[1]);
+    pids_[slot] = pid;
+    return sv[0];
+  }
+
+  void release(unsigned slot, int fd) override {
+    if (fd >= 0) ::close(fd);
+    if (slot < pids_.size() && pids_[slot] > 0) {
+      ::kill(pids_[slot], SIGKILL);
+      int status = 0;
+      while (::waitpid(pids_[slot], &status, 0) < 0 && errno == EINTR) {
+      }
+      pids_[slot] = -1;
+    }
+  }
+
+ private:
+  std::string exe_;
+  std::vector<pid_t> pids_;
+};
+
+// ---------------------------------------------------------------------------
 // Parent driver
 // ---------------------------------------------------------------------------
 
 struct WorkerSlot {
   unsigned slot = 0;
-  pid_t pid = -1;
   int fd = -1;
   wire::FrameReader reader;
   std::int64_t current = -1;  ///< in-flight cell, -1 when idle
   std::uint64_t last_seen_ns = 0;
   unsigned restarts = 0;
-  unsigned incarnation = 0;  ///< spawn count; faults ship to incarnation 1 only
-  std::uint64_t respawn_at_ns = 0;  ///< backoff deadline (0 = none scheduled)
+  unsigned incarnation = 0;  ///< adoption count; faults ship to incarnation 1 only
+  std::uint64_t respawn_at_ns = 0;  ///< next acquire attempt (0 = none scheduled)
   bool alive = false;
   bool retired = false;  ///< restart budget exhausted
   std::uint64_t cells_completed = 0;
@@ -81,13 +144,16 @@ class Driver {
  public:
   Driver(std::string kernel_name, DsweepKernel kernel, const Json& job,
          std::uint64_t cells, std::uint64_t base_seed, const DsweepOptions& options,
-         DsweepResult& result, std::uint64_t done_count, ManifestWriter& manifest)
+         const ShardRange& range, std::string fingerprint, DsweepResult& result,
+         std::uint64_t done_count, ManifestWriter& manifest)
       : kernel_name_(std::move(kernel_name)),
         kernel_(std::move(kernel)),
         job_(job),
         cells_(cells),
         base_seed_(base_seed),
         options_(options),
+        range_(range),
+        fingerprint_(std::move(fingerprint)),
         result_(result),
         done_count_(done_count),
         manifest_(manifest) {
@@ -95,45 +161,81 @@ class Driver {
   }
 
   void run() {
-    for (std::uint64_t i = 0; i < cells_; ++i) {
+    for (std::uint64_t i = range_.begin; i < range_.end; ++i) {
       if (!result_.done[i]) pending_.push_back(i);
     }
-    const std::uint64_t remaining = pending_.size();
+    remaining_ = pending_.size();
+    if (remaining_ == 0) return;
 
-    const bool multi_requested = options_.workers >= 2 && remaining >= 2;
-    bool multi = multi_requested &&
-                 options_.faults.find(FaultAction::Kind::SpawnFail) == nullptr;
-    if (multi) {
-      exe_ = self_exe();
-      multi = !exe_.empty();
+    const bool tcp = !options_.listen.empty();
+    bool multi_requested = tcp;
+    bool multi = false;
+    unsigned want = 0;
+    if (tcp) {
+      TcpTransportOptions topts;
+      topts.fingerprint = fingerprint_;
+      topts.handshake_timeout_ms = options_.heartbeat_timeout_ms;
+      // A bad address or busy port is a config error, not a worker
+      // failure: let the ctor's throw propagate instead of degrading.
+      transport_ = std::make_unique<TcpTransport>(options_.listen, topts);
+      if (options_.on_listening) {
+        options_.on_listening(static_cast<TcpTransport*>(transport_.get())->port());
+      }
+      result_.stats.tcp = true;
+      want = static_cast<unsigned>(
+          std::min<std::uint64_t>(std::max(options_.workers, 1u), remaining_));
+      multi = true;
+    } else {
+      multi_requested = options_.workers >= 2 && remaining_ >= 2;
+      multi = multi_requested &&
+              options_.faults.find(FaultAction::Kind::SpawnFail) == nullptr;
+      std::string exe;
+      if (multi) {
+        exe = self_exe();
+        multi = !exe.empty();
+      }
+      if (multi) {
+        want = static_cast<unsigned>(
+            std::min<std::uint64_t>(options_.workers, remaining_));
+        transport_ = std::make_unique<ForkTransport>(std::move(exe), want);
+      }
     }
+
     if (multi) {
-      const auto want = static_cast<unsigned>(
-          std::min<std::uint64_t>(options_.workers, remaining));
       slots_.resize(want);
-      unsigned spawned = 0;
+      const std::uint64_t now = perf::now_ns();
+      unsigned adopted = 0;
       for (unsigned s = 0; s < want; ++s) {
         slots_[s].slot = s;
-        if (spawn(slots_[s])) {
-          ++spawned;
+        if (tcp) {
+          // Remote workers arrive on their own schedule; mark the slot as
+          // wanting one and let the event loop adopt connections.
+          slots_[s].respawn_at_ns = now;
+        } else if (try_adopt(slots_[s])) {
+          ++adopted;
         } else {
           slots_[s].retired = true;
         }
       }
-      result_.stats.workers = spawned;
-      if (spawned > 0) {
+      result_.stats.workers = tcp ? want : adopted;
+      if (tcp || adopted > 0) {
         event_loop();
       }
       cleanup_workers();
+      if (tcp) {
+        const auto* t = static_cast<const TcpTransport*>(transport_.get());
+        result_.stats.connections_adopted = t->adopted();
+        result_.stats.connections_rejected = t->rejected();
+      }
       for (const auto& s : slots_) {
         result_.stats.per_worker.push_back({s.slot, s.restarts, s.cells_completed});
       }
     }
 
     if (cancelled()) interrupted_ = true;
-    if (!interrupted_ && kernel_error_.empty() && done_count_ < cells_) {
-      // Workers never spawned, died past their retry budgets, or were
-      // skipped: finish the remaining cells in this process.
+    if (!interrupted_ && kernel_error_.empty() && remaining_ > 0) {
+      // Workers never spawned/connected, died past their retry budgets,
+      // or were skipped: finish the remaining cells in this process.
       result_.stats.degraded_inprocess = multi_requested;
       local_run();
     }
@@ -153,9 +255,10 @@ class Driver {
     result_.done[cell] = true;
     result_.records[cell] = std::move(record);
     ++done_count_;
+    if (remaining_ > 0) --remaining_;
     ++committed_this_run_;
     if (manifest_.is_open()) manifest_.append(cell, result_.records[cell]);
-    if (options_.progress) options_.progress({done_count_, cells_});
+    if (options_.progress) options_.progress({done_count_, range_.size()});
     if (abort_after_ != nullptr && committed_this_run_ >= abort_after_->count) {
       interrupted_ = true;  // injected preemption: stop as SIGINT would
     }
@@ -165,7 +268,7 @@ class Driver {
 
   void local_run() {
     std::vector<std::uint64_t> todo;
-    for (std::uint64_t i = 0; i < cells_; ++i) {
+    for (std::uint64_t i = range_.begin; i < range_.end; ++i) {
       if (!result_.done[i]) todo.push_back(i);
     }
     if (todo.empty()) return;
@@ -194,32 +297,11 @@ class Driver {
 
   // --- multi-process executor ----------------------------------------------
 
-  bool spawn(WorkerSlot& s) {
+  bool try_adopt(WorkerSlot& s) {
+    const int fd = transport_->acquire(s.slot);
+    if (fd < 0) return false;
     s.respawn_at_ns = 0;
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
-    // Parent end: close-on-exec (later spawns must not leak it into
-    // sibling workers) and nonblocking for the poll loop. The worker end
-    // stays inheritable — it must survive the exec.
-    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
-    ::fcntl(sv[0], F_SETFL, O_NONBLOCK);
-    char fdbuf[16];
-    std::snprintf(fdbuf, sizeof fdbuf, "%d", sv[1]);
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
-      return false;
-    }
-    if (pid == 0) {
-      // Child: async-signal-safe territory only until exec.
-      const char* argv[] = {exe_.c_str(), "--worker-fd", fdbuf, nullptr};
-      ::execv(exe_.c_str(), const_cast<char* const*>(argv));
-      ::_exit(127);
-    }
-    ::close(sv[1]);
-    s.pid = pid;
-    s.fd = sv[0];
+    s.fd = fd;
     s.alive = true;
     s.reader = wire::FrameReader();
     s.last_seen_ns = perf::now_ns();
@@ -231,6 +313,9 @@ class Driver {
     // Seeds are full-range u64; JSON numbers are doubles, so ship the
     // seed as a decimal string to survive the round trip bit-exactly.
     cfg["base_seed"] = std::to_string(base_seed_);
+    // Remote workers echo the fingerprint back in reconnect Hellos, so a
+    // worker can never be adopted by a driver running a different sweep.
+    cfg["fingerprint"] = fingerprint_;
     cfg["heartbeat_interval_ms"] =
         static_cast<std::uint64_t>(options_.heartbeat_interval_ms);
     // Injected faults hit a slot's first incarnation only: replacements
@@ -238,32 +323,24 @@ class Driver {
     cfg["faults"] = s.incarnation == 1 ? options_.faults.worker_actions_json(s.slot)
                                        : Json(Json::Array{});
     if (!wire::write_frame(s.fd, wire::FrameType::JobConfig, cfg.dump(0))) {
-      reap(s);
+      drop(s);
       return false;
     }
     assign_next(s);
     return true;
   }
 
-  /// Kill + waitpid + close, no reassignment bookkeeping.
-  void reap(WorkerSlot& s) {
+  /// Release the connection (fork: kill + reap the process too), no
+  /// reassignment bookkeeping.
+  void drop(WorkerSlot& s) {
     s.alive = false;
-    if (s.fd >= 0) {
-      ::close(s.fd);
-      s.fd = -1;
-    }
-    if (s.pid > 0) {
-      ::kill(s.pid, SIGKILL);
-      int status = 0;
-      while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
-      }
-      s.pid = -1;
-    }
+    transport_->release(s.slot, s.fd);
+    s.fd = -1;
   }
 
   void fail_worker(WorkerSlot& s) {
     if (!s.alive) return;
-    reap(s);
+    drop(s);
     if (s.current >= 0) {
       const auto cell = static_cast<std::uint64_t>(s.current);
       if (!result_.done[cell]) {
@@ -276,8 +353,9 @@ class Driver {
       s.retired = true;
       return;
     }
-    // Exponential backoff before the respawn: a worker dying instantly
-    // (bad node, OOM loop) must not turn the parent into a fork bomb.
+    // Exponential backoff before the retry: a worker dying instantly
+    // (bad node, OOM loop, flapping link) must not turn the parent into a
+    // fork bomb or an adopt/fail spin.
     const std::uint64_t delay_ms = std::min<std::uint64_t>(
         static_cast<std::uint64_t>(options_.backoff_base_ms) << s.restarts, 10'000);
     ++s.restarts;
@@ -314,7 +392,7 @@ class Driver {
       fail_worker(s);
       return;
     }
-    if (cell >= cells_) {
+    if (!range_.contains(cell)) {
       ++result_.stats.batches_rejected;
       fail_worker(s);
       return;
@@ -357,39 +435,63 @@ class Driver {
   void event_loop() {
     const std::uint64_t hb_timeout_ns =
         static_cast<std::uint64_t>(options_.heartbeat_timeout_ms) * 1'000'000ull;
+    const std::uint64_t accept_timeout_ns =
+        static_cast<std::uint64_t>(options_.accept_timeout_ms) * 1'000'000ull;
     const int tick_ms = static_cast<int>(
         std::max(10u, std::min(options_.heartbeat_interval_ms, 200u)));
+    const bool tcp = transport_->event_fd() >= 0;
+    std::uint64_t last_live_ns = perf::now_ns();
 
-    while (done_count_ < cells_ && !interrupted_ && kernel_error_.empty()) {
+    while (remaining_ > 0 && !interrupted_ && kernel_error_.empty()) {
       if (cancelled()) {
         interrupted_ = true;
         break;
       }
       const std::uint64_t now = perf::now_ns();
+      transport_->service(now);
 
-      // Respawns whose backoff expired.
+      // Slots whose retry backoff expired: fork respawns here; TCP adopts
+      // the next handshaken connection, if one is queued.
       for (auto& s : slots_) {
         if (!s.alive && !s.retired && s.respawn_at_ns != 0 && now >= s.respawn_at_ns) {
-          if (!spawn(s)) s.retired = true;
+          if (!try_adopt(s) && !transport_->transient_acquire()) s.retired = true;
         }
       }
       dispatch_pending();
 
       std::vector<struct pollfd> fds;
       std::vector<WorkerSlot*> owners;
+      bool any_alive = false;
+      bool any_waiting = false;
       std::uint64_t earliest_respawn = 0;
       for (auto& s : slots_) {
         if (s.alive) {
           fds.push_back({s.fd, POLLIN, 0});
           owners.push_back(&s);
+          any_alive = true;
         } else if (!s.retired && s.respawn_at_ns != 0) {
+          any_waiting = true;
           if (earliest_respawn == 0 || s.respawn_at_ns < earliest_respawn) {
             earliest_respawn = s.respawn_at_ns;
           }
         }
       }
+      if (any_alive || transport_->busy()) last_live_ns = now;
+      if (!any_alive) {
+        if (!any_waiting) break;  // every slot retired: degrade
+        if (tcp && now - last_live_ns > accept_timeout_ns) {
+          // Nobody connected (or everybody left) for the whole window:
+          // stop waiting for the fleet and run the cells ourselves.
+          break;
+        }
+      }
+      const int efd = transport_->event_fd();
+      if (efd >= 0) {
+        fds.push_back({efd, POLLIN, 0});
+        owners.push_back(nullptr);  // transport-level readiness; serviced above
+      }
       if (fds.empty()) {
-        if (earliest_respawn == 0) break;  // everyone retired: degrade
+        // Fork backend with only backoff timers outstanding.
         std::this_thread::sleep_for(std::chrono::milliseconds(
             std::min<std::uint64_t>(
                 (std::max(earliest_respawn, now) - now) / 1'000'000ull + 1, 50)));
@@ -399,6 +501,7 @@ class Driver {
       const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), tick_ms);
       if (ready > 0) {
         for (std::size_t i = 0; i < fds.size(); ++i) {
+          if (owners[i] == nullptr) continue;
           if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
             service(*owners[i]);
             if (interrupted_ || !kernel_error_.empty()) break;
@@ -409,9 +512,9 @@ class Driver {
       const std::uint64_t scan = perf::now_ns();
       for (auto& s : slots_) {
         if (s.alive && scan - s.last_seen_ns > hb_timeout_ns) {
-          // Hung worker: no records and no heartbeats for the whole
-          // window. SIGKILL and recover — a stuck cell must not stall
-          // the grid forever.
+          // Dead or partitioned worker: no records and no heartbeats for
+          // the whole window. Abandon the connection and recover — a
+          // stuck cell must not stall the grid forever.
           ++result_.stats.heartbeat_timeouts;
           fail_worker(s);
         }
@@ -423,7 +526,7 @@ class Driver {
     for (auto& s : slots_) {
       if (!s.alive) continue;
       wire::write_frame(s.fd, wire::FrameType::Done, "");  // best effort
-      reap(s);
+      drop(s);
     }
   }
 
@@ -433,14 +536,17 @@ class Driver {
   const std::uint64_t cells_;
   const std::uint64_t base_seed_;
   const DsweepOptions& options_;
+  const ShardRange range_;
+  const std::string fingerprint_;
   DsweepResult& result_;
   std::uint64_t done_count_;
+  std::uint64_t remaining_ = 0;
   std::uint64_t committed_this_run_ = 0;
   ManifestWriter& manifest_;
   const FaultAction* abort_after_ = nullptr;
   std::deque<std::uint64_t> pending_;
   std::vector<WorkerSlot> slots_;
-  std::string exe_;
+  std::unique_ptr<Transport> transport_;
   std::string kernel_error_;
   bool interrupted_ = false;
 };
@@ -462,6 +568,13 @@ Json DsweepStats::to_json() const {
   j["resumed_cells"] = resumed_cells;
   j["degraded_inprocess"] = degraded_inprocess;
   j["interrupted"] = interrupted;
+  if (tcp) {
+    // Only present on TCP runs: the default fork-backend schema stays
+    // stable for bench_compare's structural drift check.
+    j["tcp"] = true;
+    j["connections_adopted"] = static_cast<std::uint64_t>(connections_adopted);
+    j["connections_rejected"] = static_cast<std::uint64_t>(connections_rejected);
+  }
   Json::Array per;
   for (const auto& w : per_worker) {
     Json e;
@@ -477,8 +590,15 @@ Json DsweepStats::to_json() const {
 DsweepResult dsweep_run(const std::string& kernel, const Json& job,
                         std::uint64_t cells, std::uint64_t base_seed,
                         const DsweepOptions& options) {
+  if (options.heartbeat_timeout_ms == 0) {
+    throw std::invalid_argument("dsweep: worker timeout must be positive");
+  }
+  net::ignore_sigpipe();
   dsweep_register_builtin_kernels();
   DsweepKernel fn = find_kernel(kernel);
+
+  // Validates the shard spec (throws on index >= count / count == 0).
+  const ShardRange range = shard_range(cells, options.shard_index, options.shard_count);
 
   DsweepResult result;
   result.records.resize(cells);
@@ -500,7 +620,10 @@ DsweepResult dsweep_run(const std::string& kernel, const Json& job,
       if (load.found && load.fingerprint_ok) {
         fresh = false;
         for (const auto& e : load.entries) {
-          if (e.cell < cells && !result.done[e.cell]) {
+          // Cells outside this shard's range (a manifest written under a
+          // different --shard split) are ignored: this run only owns and
+          // only reports its own range.
+          if (range.contains(e.cell) && !result.done[e.cell]) {
             result.done[e.cell] = true;
             result.records[e.cell] = e.record;
             ++done_count;
@@ -511,17 +634,57 @@ DsweepResult dsweep_run(const std::string& kernel, const Json& job,
     }
     // A manifest that cannot be opened disables checkpointing (the error
     // is printed) but never blocks the sweep itself.
-    manifest.open(options.manifest_path, fingerprint, fresh);
+    manifest.open(options.manifest_path, fingerprint, fresh, options.shard_index,
+                  options.shard_count);
     if (options.progress && done_count > 0) {
-      options.progress({done_count, cells});
+      options.progress({done_count, range.size()});
     }
   }
 
-  if (cells == 0 || done_count == cells) return result;
+  if (range.size() == 0 || done_count == range.size()) return result;
 
-  Driver driver(kernel, std::move(fn), job, cells, base_seed, options, result,
-                done_count, manifest);
+  Driver driver(kernel, std::move(fn), job, cells, base_seed, options, range,
+                fingerprint, result, done_count, manifest);
   driver.run();
+  return result;
+}
+
+DsweepResult dsweep_merge_shards(const std::string& kernel, const Json& job,
+                                 std::uint64_t cells, std::uint64_t base_seed,
+                                 const std::vector<std::string>& manifest_paths) {
+  const std::string fingerprint = sweep_fingerprint(kernel, job, cells, base_seed);
+  DsweepResult result;
+  result.records.resize(cells);
+  result.done.assign(cells, false);
+
+  std::uint64_t merged = 0;
+  for (const auto& path : manifest_paths) {
+    const auto load = load_manifest(path, fingerprint);
+    if (!load.found) {
+      throw std::runtime_error("dsweep: cannot read shard manifest '" + path + "'");
+    }
+    if (!load.fingerprint_ok) {
+      throw std::runtime_error("dsweep: shard manifest '" + path +
+                               "' was written by a different run "
+                               "(grid/seed/config changed)");
+    }
+    for (const auto& e : load.entries) {
+      if (e.cell < cells && !result.done[e.cell]) {
+        result.done[e.cell] = true;
+        result.records[e.cell] = e.record;
+        ++merged;
+      }
+    }
+  }
+  if (merged < cells) {
+    std::uint64_t first_missing = 0;
+    while (first_missing < cells && result.done[first_missing]) ++first_missing;
+    throw std::runtime_error(
+        "dsweep: shard manifests cover " + std::to_string(merged) + "/" +
+        std::to_string(cells) + " cells (first missing: cell " +
+        std::to_string(first_missing) +
+        "); resume the unfinished shard before merging");
+  }
   return result;
 }
 
@@ -538,14 +701,44 @@ int dsweep_worker_fd(int argc, const char* const* argv) {
   return -1;
 }
 
-int dsweep_worker_main(int fd) {
-  dsweep_register_builtin_kernels();
+std::string dsweep_worker_connect_arg(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--connect=", 0) == 0) return arg.substr(10);
+  }
+  return "";
+}
+
+namespace {
+
+/// How one serve session over one connection ended.
+enum class ServeEnd {
+  Done,       ///< driver sent Done: the run is complete
+  ConnLost,   ///< EOF / write failure: the driver dropped us (or died)
+  StreamBad,  ///< corrupt frame stream from the driver
+  Rejected,   ///< driver refused the handshake (foreign run / version)
+  Protocol,   ///< unexpected frame where JobConfig/Assign belonged
+};
+
+/// Serve one driver connection on \p fd: read the JobConfig, then loop on
+/// Assign frames until Done or failure. \p fingerprint is updated with
+/// the run fingerprint from the JobConfig (remote workers echo it in
+/// reconnect Hellos); \p adopted is set once a JobConfig was received.
+ServeEnd worker_serve(int fd, std::string* fingerprint, bool* adopted) {
   wire::FrameReader reader;
   wire::Frame frame;
-  if (wire::read_frame(fd, reader, &frame) != WStatus::Frame ||
-      frame.type != wire::FrameType::JobConfig) {
-    return 2;
+  const WStatus first = wire::read_frame(fd, reader, &frame);
+  if (first != WStatus::Frame) {
+    return first == WStatus::Eof ? ServeEnd::ConnLost : ServeEnd::StreamBad;
   }
+  if (frame.type == wire::FrameType::Reject) {
+    std::fprintf(stderr, "dsweep worker: rejected by driver: %s\n",
+                 frame.payload_str().c_str());
+    return ServeEnd::Rejected;
+  }
+  if (frame.type != wire::FrameType::JobConfig) return ServeEnd::Protocol;
+  if (adopted != nullptr) *adopted = true;
 
   DsweepKernel kernel;
   Json job;
@@ -559,9 +752,10 @@ int dsweep_worker_main(int fd) {
     hb_ms = static_cast<unsigned>(cfg.at("heartbeat_interval_ms").as_double());
     faults = FaultSpec::worker_actions_from_json(cfg.at("faults"));
     kernel = find_kernel(cfg.at("kernel").as_string());
+    if (fingerprint != nullptr) *fingerprint = cfg.get_or("fingerprint", std::string());
   } catch (const std::exception& e) {
     wire::write_frame(fd, wire::FrameType::Error, e.what());
-    return 2;
+    return ServeEnd::Protocol;
   }
   const auto fault = [&faults](FaultAction::Kind kind) -> const FaultAction* {
     for (const auto& a : faults) {
@@ -571,7 +765,7 @@ int dsweep_worker_main(int fd) {
   };
 
   // Heartbeat thread: liveness signal decoupled from cell completion, so
-  // the parent can tell "slow cell" from "hung worker". Serialized with
+  // the driver can tell "slow cell" from "hung worker". Serialized with
   // record writes — interleaving two frames would corrupt the stream.
   std::mutex write_mutex;
   std::atomic<bool> stop{false};
@@ -584,21 +778,21 @@ int dsweep_worker_main(int fd) {
       if (!wire::write_frame(fd, wire::FrameType::Heartbeat, "")) return;
     }
   });
+  const auto finish = [&](ServeEnd end) {
+    stop.store(true);
+    heartbeat.join();
+    return end;
+  };
 
   std::uint64_t cells_done = 0;
   std::uint64_t batches_sent = 0;
-  int rc = 0;
   for (;;) {
     const WStatus st = wire::read_frame(fd, reader, &frame);
     if (st != WStatus::Frame) {
-      rc = st == WStatus::Eof ? 0 : 1;  // parent is gone
-      break;
+      return finish(st == WStatus::Eof ? ServeEnd::ConnLost : ServeEnd::StreamBad);
     }
-    if (frame.type == wire::FrameType::Done) break;
-    if (frame.type != wire::FrameType::Assign) {
-      rc = 2;
-      break;
-    }
+    if (frame.type == wire::FrameType::Done) return finish(ServeEnd::Done);
+    if (frame.type != wire::FrameType::Assign) return finish(ServeEnd::Protocol);
     const std::uint64_t cell = parse_u64_str(frame.payload_str());
 
     Json record;
@@ -610,7 +804,7 @@ int dsweep_worker_main(int fd) {
       err["error"] = std::string(e.what());
       std::lock_guard<std::mutex> lock(write_mutex);
       wire::write_frame(fd, wire::FrameType::Error, err.dump(0));
-      continue;  // parent aborts the run on Error; stay responsive meanwhile
+      continue;  // driver aborts the run on Error; stay responsive meanwhile
     }
     ++cells_done;
 
@@ -627,9 +821,15 @@ int dsweep_worker_main(int fd) {
     }
     if (const auto* a = fault(FaultAction::Kind::CorruptBatch);
         a != nullptr && batches_sent == a->count) {
-      // Flip one payload byte after the CRC was computed: the parent must
+      // Flip one payload byte after the CRC was computed: the driver must
       // reject the batch, not merge garbage.
       bytes[wire::kHeaderBytes + (bytes.size() - wire::kHeaderBytes) / 2] ^= 0x5A;
+    }
+    if (const auto* a = fault(FaultAction::Kind::CorruptFrame);
+        a != nullptr && batches_sent == a->count) {
+      // Flip a bit in the header's type byte: only a CRC that covers the
+      // header (wire v2) catches this one.
+      bytes[4] ^= 0x10;
     }
     if (const auto* a = fault(FaultAction::Kind::TruncateBatch);
         a != nullptr && batches_sent == a->count) {
@@ -640,8 +840,7 @@ int dsweep_worker_main(int fd) {
     {
       std::lock_guard<std::mutex> lock(write_mutex);
       if (!wire::write_all(fd, bytes.data(), bytes.size())) {
-        rc = 1;
-        break;
+        return finish(ServeEnd::ConnLost);
       }
     }
     if (const auto* a = fault(FaultAction::Kind::KillAfterCells);
@@ -650,13 +849,97 @@ int dsweep_worker_main(int fd) {
     }
     if (const auto* a = fault(FaultAction::Kind::StallAfterCells);
         a != nullptr && cells_done == a->count) {
-      stall.store(true);  // heartbeats stop; hang until the parent SIGKILLs us
+      stall.store(true);  // heartbeats stop; hang until the driver SIGKILLs us
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
     }
+    if (const auto* a = fault(FaultAction::Kind::DropConnAfter);
+        a != nullptr && cells_done == a->count) {
+      // Sever the link mid-run (dropped TCP session / yanked cable). The
+      // driver reassigns; a remote worker reconnects with backoff.
+      ::shutdown(fd, SHUT_RDWR);
+      return finish(ServeEnd::ConnLost);
+    }
+    if (const auto* a = fault(FaultAction::Kind::StallConnAfter);
+        a != nullptr && cells_done == a->count) {
+      // Network partition as the driver sees it: the connection stays
+      // open but heartbeats stop. Poll for the driver abandoning us (EOF
+      // after its liveness timeout) so the partition heals into a
+      // reconnect instead of a leaked process.
+      stall.store(true);
+      for (;;) {
+        struct pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, 100) < 0 && errno != EINTR) {
+          return finish(ServeEnd::ConnLost);
+        }
+        if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+          std::uint8_t junk[4096];
+          const ssize_t n = ::read(fd, junk, sizeof junk);
+          if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+            return finish(ServeEnd::ConnLost);
+          }
+        }
+      }
+    }
   }
-  stop.store(true);
-  heartbeat.join();
-  return rc;
+}
+
+}  // namespace
+
+int dsweep_worker_main(int fd) {
+  net::ignore_sigpipe();
+  dsweep_register_builtin_kernels();
+  switch (worker_serve(fd, nullptr, nullptr)) {
+    case ServeEnd::Done: return 0;
+    case ServeEnd::ConnLost: return 0;  // driver is gone; nothing left to do
+    case ServeEnd::StreamBad: return 1;
+    case ServeEnd::Rejected: return 5;
+    case ServeEnd::Protocol: return 2;
+  }
+  return 2;
+}
+
+int dsweep_worker_connect(const std::string& hostport,
+                          const WorkerConnectOptions& options) {
+  net::ignore_sigpipe();
+  dsweep_register_builtin_kernels();
+  std::string fingerprint;
+  unsigned attempt = 0;
+  for (;;) {
+    std::string err;
+    const int fd = net::connect_tcp(hostport, options.connect_timeout_ms, &err);
+    if (fd >= 0) {
+      Json hello;
+      hello["proto"] = static_cast<std::uint64_t>(wire::kProtocolVersion);
+      hello["fingerprint"] = fingerprint;
+      bool adopted = false;
+      ServeEnd end = ServeEnd::ConnLost;
+      if (wire::write_frame(fd, wire::FrameType::Hello, hello.dump(0))) {
+        end = worker_serve(fd, &fingerprint, &adopted);
+      }
+      ::close(fd);
+      switch (end) {
+        case ServeEnd::Done: return 0;
+        case ServeEnd::Rejected: return 5;  // the driver will never want us
+        case ServeEnd::Protocol: return 2;
+        case ServeEnd::ConnLost:
+        case ServeEnd::StreamBad:
+          // Dropped or garbled link: redial. Serving real work resets the
+          // budget — it bounds consecutive failures, not total reconnects.
+          if (adopted) attempt = 0;
+          break;
+      }
+    }
+    if (attempt >= options.max_retries) {
+      std::fprintf(stderr, "dsweep worker: giving up on %s after %u attempts: %s\n",
+                   hostport.c_str(), attempt + 1, err.empty() ? "link lost" : err.c_str());
+      return 1;
+    }
+    const std::uint64_t delay_ms = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(options.backoff_base_ms) << attempt,
+        options.backoff_cap_ms);
+    ++attempt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +959,17 @@ Json number_array(const std::vector<T>& v) {
   Json::Array arr;
   for (const T x : v) arr.push_back(Json(static_cast<std::uint64_t>(x)));
   return Json(std::move(arr));
+}
+
+FerDistResult fer_dist_from_dsweep(DsweepResult res) {
+  FerDistResult out;
+  out.done = std::move(res.done);
+  out.stats = std::move(res.stats);
+  out.cells.resize(res.records.size());
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    if (out.done[i]) out.cells[i] = fer_cell_from_json(res.records[i]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -797,17 +1091,15 @@ FerDistResult run_fer_sweep_dist(const SweepGrid& grid, const FerSweepOptions& o
                                  DsweepOptions dist) {
   dist.threads = options.sweep.threads;
   const Json job = fer_job_config(grid, options);
-  DsweepResult res =
-      dsweep_run("fer", job, grid.size(), options.sweep.base_seed, dist);
+  return fer_dist_from_dsweep(
+      dsweep_run("fer", job, grid.size(), options.sweep.base_seed, dist));
+}
 
-  FerDistResult out;
-  out.done = std::move(res.done);
-  out.stats = std::move(res.stats);
-  out.cells.resize(res.records.size());
-  for (std::size_t i = 0; i < res.records.size(); ++i) {
-    if (out.done[i]) out.cells[i] = fer_cell_from_json(res.records[i]);
-  }
-  return out;
+FerDistResult run_fer_merge_shards(const SweepGrid& grid, const FerSweepOptions& options,
+                                   const std::vector<std::string>& manifest_paths) {
+  const Json job = fer_job_config(grid, options);
+  return fer_dist_from_dsweep(dsweep_merge_shards(
+      "fer", job, grid.size(), options.sweep.base_seed, manifest_paths));
 }
 
 }  // namespace tbi::sim

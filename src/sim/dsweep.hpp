@@ -5,13 +5,26 @@
 /// shards it across N worker *processes*, each a re-invocation of the
 /// current binary with `--worker-fd` (the Mu2e DAQ shape: N independent
 /// links with per-link state feeding one merge). The parent assigns cells
-/// one at a time over a socketpair, workers stream length-prefixed,
-/// CRC-checked record batches back (common/wire.hpp), and the parent
-/// merges them **by cell index**, so the result vector is byte-identical
-/// to the single-process order no matter how cells land on workers —
-/// every cell's seed is `job_seed(base_seed, index)`, exactly as in
-/// `sweep_map`, which stays the in-process fallback with unchanged
-/// semantics.
+/// one at a time, workers stream length-prefixed, CRC-checked record
+/// batches back (common/wire.hpp), and the parent merges them **by cell
+/// index**, so the result vector is byte-identical to the single-process
+/// order no matter how cells land on workers — every cell's seed is
+/// `job_seed(base_seed, index)`, exactly as in `sweep_map`, which stays
+/// the in-process fallback with unchanged semantics.
+///
+/// The worker connection itself is pluggable (sim/transport.hpp):
+///  * fork/exec over a local socketpair (the default), or
+///  * TCP (`DsweepOptions::listen` + `dsweep_worker_connect`): the driver
+///    listens, remote workers dial in, handshake with a `Hello` frame
+///    carrying the run fingerprint (foreign workers are rejected exactly
+///    like foreign manifests), and reconnect with exponential backoff
+///    under a bounded retry budget when the link drops.
+///
+/// Large grids split across driver processes with `shard_index /
+/// shard_count`: each shard computes a contiguous cell range into its own
+/// manifest (all shards share the full-run fingerprint), and
+/// `dsweep_merge_shards` reassembles the ranges into a result
+/// byte-identical to the unsharded run.
 ///
 /// Failure model (all paths exercised deterministically via
 /// sim/fault.hpp):
@@ -74,8 +87,26 @@ struct DsweepOptions {
   std::string manifest_path;
   unsigned max_worker_restarts = 3;    ///< respawn budget per worker slot
   unsigned heartbeat_interval_ms = 250;
+  /// Liveness window: a worker that sends neither records nor heartbeats
+  /// for this long is declared dead/partitioned and its in-flight cell is
+  /// reassigned. Must be positive (dsweep_run throws otherwise).
   unsigned heartbeat_timeout_ms = 5000;
   unsigned backoff_base_ms = 100;      ///< respawn delay, doubled per restart
+  /// TCP fleet mode: listen on "host:port" (port 0 = ephemeral) and adopt
+  /// remote workers that dial in, instead of forking local ones.
+  /// `workers` becomes the number of adoption slots.
+  std::string listen;
+  /// TCP: degrade to in-process execution when no worker has been alive
+  /// or mid-handshake for this long.
+  unsigned accept_timeout_ms = 10000;
+  /// TCP: called with the bound port once the listener is up (ephemeral
+  /// port discovery for tests and logs).
+  std::function<void(std::uint16_t)> on_listening;
+  /// Shard `shard_index` of `shard_count`: compute only the contiguous
+  /// range shard_range(cells, index, count). The manifest still carries
+  /// the full-run fingerprint, so dsweep_merge_shards can reassemble.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   FaultSpec faults;                    ///< injected faults (tests / CI)
   /// Cooperative cancellation (SIGINT/SIGTERM handler flag): checked
   /// between cells; a set flag stops assignment, flushes the manifest and
@@ -99,6 +130,9 @@ struct DsweepStats {
   std::uint64_t resumed_cells = 0;  ///< cells loaded from the manifest
   bool degraded_inprocess = false;  ///< fell back to in-process execution
   bool interrupted = false;         ///< stopped by cancel/abort, result partial
+  bool tcp = false;                 ///< the TCP transport carried this run
+  unsigned connections_adopted = 0;   ///< TCP: handshaken connections adopted
+  unsigned connections_rejected = 0;  ///< TCP: handshakes refused (foreign/versions)
   std::vector<DsweepWorkerStats> per_worker;
 
   Json to_json() const;
@@ -120,6 +154,16 @@ DsweepResult dsweep_run(const std::string& kernel, const Json& job,
                         std::uint64_t cells, std::uint64_t base_seed,
                         const DsweepOptions& options);
 
+/// Reassemble a sharded sweep from its per-shard manifests. Every
+/// manifest must carry this run's fingerprint (foreign manifests throw
+/// std::runtime_error) and together the shards must cover every cell —
+/// a torn or unfinished shard must be `--resume`d to completion before
+/// it can merge. Records keep their manifest bytes, so the merged result
+/// is byte-identical to a single-process run.
+DsweepResult dsweep_merge_shards(const std::string& kernel, const Json& job,
+                                 std::uint64_t cells, std::uint64_t base_seed,
+                                 const std::vector<std::string>& manifest_paths);
+
 // ---------------------------------------------------------------------------
 // Worker entry points
 // ---------------------------------------------------------------------------
@@ -131,6 +175,26 @@ int dsweep_worker_fd(int argc, const char* const* argv);
 
 /// Worker protocol loop on \p fd; returns the process exit code.
 int dsweep_worker_main(int fd);
+
+/// Detect the remote-worker invocation: returns the "host:port" spec when
+/// argv contains `--connect SPEC` (or `--connect=SPEC`), else "".
+std::string dsweep_worker_connect_arg(int argc, const char* const* argv);
+
+struct WorkerConnectOptions {
+  unsigned max_retries = 10;       ///< consecutive failed dials before giving up
+  unsigned backoff_base_ms = 100;  ///< reconnect delay, doubled per attempt
+  unsigned backoff_cap_ms = 5000;
+  unsigned connect_timeout_ms = 5000;
+};
+
+/// Remote worker: dial the driver at \p hostport, handshake (Hello with
+/// the last-served fingerprint), serve cells, and reconnect with
+/// exponential backoff when the link drops mid-run. The attempt counter
+/// resets after every successful adoption, so the budget bounds
+/// *consecutive* failures, not total reconnects. Returns the process
+/// exit code (0 = run complete, 5 = rejected by the driver).
+int dsweep_worker_connect(const std::string& hostport,
+                          const WorkerConnectOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // FER sweeps on the distributed backend
@@ -163,5 +227,10 @@ FerCell fer_cell_from_json(const Json& record);
 /// is taken from `options.sweep.threads`.
 FerDistResult run_fer_sweep_dist(const SweepGrid& grid, const FerSweepOptions& options,
                                  DsweepOptions dist);
+
+/// dsweep_merge_shards for the "fer" kernel: reassemble shard manifests
+/// of this grid into a full FerDistResult.
+FerDistResult run_fer_merge_shards(const SweepGrid& grid, const FerSweepOptions& options,
+                                   const std::vector<std::string>& manifest_paths);
 
 }  // namespace tbi::sim

@@ -16,6 +16,9 @@ const char* kind_name(Kind k) {
     case Kind::CorruptBatch: return "corrupt-batch";
     case Kind::TruncateBatch: return "truncate-batch";
     case Kind::DelayBatch: return "delay-batch";
+    case Kind::DropConnAfter: return "drop-conn-after";
+    case Kind::StallConnAfter: return "stall-conn-after";
+    case Kind::CorruptFrame: return "corrupt-frame";
     case Kind::AbortAfterCells: return "abort-after";
     case Kind::SpawnFail: return "spawn-fail";
   }
@@ -24,7 +27,8 @@ const char* kind_name(Kind k) {
 
 bool kind_from_name(const std::string& name, Kind* out) {
   for (Kind k : {Kind::KillAfterCells, Kind::StallAfterCells, Kind::CorruptBatch,
-                 Kind::TruncateBatch, Kind::DelayBatch, Kind::AbortAfterCells,
+                 Kind::TruncateBatch, Kind::DelayBatch, Kind::DropConnAfter,
+                 Kind::StallConnAfter, Kind::CorruptFrame, Kind::AbortAfterCells,
                  Kind::SpawnFail}) {
     if (name == kind_name(k)) {
       *out = k;

@@ -17,6 +17,15 @@
 ///   corrupt-batch=K[@s]   worker flips a byte in its Kth record batch
 ///   truncate-batch=K[@s]  worker writes half its Kth batch, then exits
 ///   delay-batch=K:MS[@s]  worker sleeps MS ms before its Kth batch
+///   drop-conn-after=K[@s] worker severs its connection after K cells (a
+///                         dropped TCP link / closed socketpair); remote
+///                         workers reconnect with backoff
+///   stall-conn-after=K[@s] worker keeps the connection open but stops
+///                         heartbeating after K cells — a network
+///                         partition as the driver sees it
+///   corrupt-frame=K[@s]   worker flips a bit inside its Kth frame's
+///                         header/payload bytes (corrupt-batch targets
+///                         the payload; this one may hit the header)
 ///   abort-after=K         parent stops after K committed cells, as if
 ///                         preempted (manifest flushed, exit via the
 ///                         interrupted path) — the `--resume` test hook
@@ -43,6 +52,9 @@ struct FaultAction {
     CorruptBatch,
     TruncateBatch,
     DelayBatch,
+    DropConnAfter,
+    StallConnAfter,
+    CorruptFrame,
     AbortAfterCells,
     SpawnFail,
   };

@@ -1,7 +1,12 @@
 #include "sim/manifest.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <stdexcept>
 
 namespace tbi::sim {
 
@@ -24,6 +29,41 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
+/// Byte length of the journal's valid prefix: whole, newline-terminated
+/// lines that pass the same acceptance rule as load_manifest. Everything
+/// past it is a torn tail from a crash mid-append.
+std::size_t valid_prefix_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::size_t good = 0;
+  std::size_t pos = 0;
+  bool header = true;
+  while (pos < data.size()) {
+    const auto nl = data.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated tail: torn
+    const std::string line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (!line.empty()) {
+      try {
+        const Json v = Json::parse(line);
+        if (header) {
+          (void)v.at("fingerprint").as_string();
+          header = false;
+        } else {
+          (void)v.at("cell").as_double();
+          (void)v.at("record");
+        }
+      } catch (const JsonError&) {
+        break;
+      }
+    }
+    good = pos;
+  }
+  return good;
+}
+
 }  // namespace
 
 std::string sweep_fingerprint(const std::string& kernel, const Json& job,
@@ -33,6 +73,37 @@ std::string sweep_fingerprint(const std::string& kernel, const Json& job,
   h = fnv1a(std::to_string(cells), h);
   h = fnv1a(std::to_string(base_seed), h);
   return hex64(h);
+}
+
+ShardRange shard_range(std::uint64_t cells, unsigned index, unsigned count) {
+  if (count == 0) throw std::invalid_argument("shard: count must be >= 1");
+  if (index >= count) {
+    throw std::invalid_argument("shard: index " + std::to_string(index) +
+                                " out of range for " + std::to_string(count) +
+                                " shards");
+  }
+  ShardRange r;
+  r.begin = cells * index / count;
+  r.end = cells * (index + 1) / count;
+  return r;
+}
+
+void parse_shard_spec(const std::string& spec, unsigned* index, unsigned* count) {
+  const auto slash = spec.find('/');
+  const auto digits_only = [](const std::string& s) {
+    return !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+  };
+  if (slash == std::string::npos || !digits_only(spec.substr(0, slash)) ||
+      !digits_only(spec.substr(slash + 1))) {
+    throw std::invalid_argument("shard: expected I/N, got '" + spec + "'");
+  }
+  const unsigned long i = std::strtoul(spec.c_str(), nullptr, 10);
+  const unsigned long n = std::strtoul(spec.c_str() + slash + 1, nullptr, 10);
+  if (n == 0 || i >= n) {
+    throw std::invalid_argument("shard: index must satisfy I < N in '" + spec + "'");
+  }
+  *index = static_cast<unsigned>(i);
+  *count = static_cast<unsigned>(n);
 }
 
 ManifestLoad load_manifest(const std::string& path, const std::string& fingerprint) {
@@ -76,11 +147,28 @@ ManifestLoad load_manifest(const std::string& path, const std::string& fingerpri
 }
 
 bool ManifestWriter::open(const std::string& path, const std::string& fingerprint,
-                          bool fresh) {
+                          bool fresh, unsigned shard_index, unsigned shard_count) {
+  if (!fresh) {
+    // Resume must not append after a torn tail: every later load — the
+    // next resume, and above all the shard merge — stops at the first
+    // unparseable line and would never see what was written beyond it.
+    // Truncate the journal back to its valid prefix first.
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe) {
+      const auto size = static_cast<std::size_t>(probe.tellg());
+      probe.close();
+      const std::size_t good = valid_prefix_bytes(path);
+      if (good < size) ::truncate(path.c_str(), static_cast<off_t>(good));
+    }
+  }
   if (!log_.open(path, fresh)) return false;
   if (fresh) {
     Json header;
     header["fingerprint"] = fingerprint;
+    if (shard_count > 1) {
+      header["shard_index"] = static_cast<std::uint64_t>(shard_index);
+      header["shard_count"] = static_cast<std::uint64_t>(shard_count);
+    }
     return log_.append_line(header.dump(0));
   }
   return true;

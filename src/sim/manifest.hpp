@@ -33,6 +33,25 @@ namespace tbi::sim {
 std::string sweep_fingerprint(const std::string& kernel, const Json& job,
                               std::uint64_t cells, std::uint64_t base_seed);
 
+/// Contiguous cell range `[begin, end)` owned by one shard of a sweep.
+struct ShardRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const { return end - begin; }
+  bool contains(std::uint64_t cell) const { return cell >= begin && cell < end; }
+};
+
+/// Split \p cells into \p count contiguous ranges and return range
+/// \p index: `[cells*index/count, cells*(index+1)/count)`. Every cell
+/// belongs to exactly one shard and ranges differ in size by at most 1.
+/// Throws std::invalid_argument when count == 0 or index >= count.
+ShardRange shard_range(std::uint64_t cells, unsigned index, unsigned count);
+
+/// Parse a `--shard I/N` spec. Throws std::invalid_argument on malformed
+/// input, N == 0, or I >= N.
+void parse_shard_spec(const std::string& spec, unsigned* index, unsigned* count);
+
 struct ManifestEntry {
   std::uint64_t cell = 0;
   Json record;
@@ -53,10 +72,13 @@ ManifestLoad load_manifest(const std::string& path, const std::string& fingerpri
 class ManifestWriter {
  public:
   /// Open \p path for appending. \p fresh truncates and writes a new
-  /// header; otherwise the journal is extended in place (resume). Returns
-  /// false when the file cannot be opened or the header cannot be
-  /// written.
-  bool open(const std::string& path, const std::string& fingerprint, bool fresh);
+  /// header; otherwise the journal is extended in place (resume). Sharded
+  /// runs (shard_count > 1) annotate the header with their shard so a
+  /// human can tell the journals apart — the resume/merge logic keys on
+  /// the fingerprint alone. Returns false when the file cannot be opened
+  /// or the header cannot be written.
+  bool open(const std::string& path, const std::string& fingerprint, bool fresh,
+            unsigned shard_index = 0, unsigned shard_count = 1);
   bool is_open() const { return log_.is_open(); }
 
   /// Append one completed cell. Returns false on write/sync failure.

@@ -1,0 +1,128 @@
+#include "sim/net_transport.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "common/net.hpp"
+
+namespace tbi::sim {
+
+namespace {
+using WStatus = wire::FrameReader::Status;
+}
+
+TcpTransport::TcpTransport(const std::string& hostport, TcpTransportOptions options)
+    : options_(std::move(options)) {
+  std::string host;
+  std::string port;
+  std::string err;
+  if (!net::split_hostport(hostport, &host, &port, &err)) {
+    throw std::invalid_argument("dsweep: " + err);
+  }
+  listen_fd_ = net::listen_tcp(hostport, &err);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("dsweep: " + err);
+  }
+  port_ = net::local_port(listen_fd_);
+}
+
+TcpTransport::~TcpTransport() {
+  for (const auto& p : pending_) ::close(p.fd);
+  for (const int fd : ready_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool TcpTransport::handshake_ok(const std::string& payload,
+                                std::string* reason) const {
+  Json hello;
+  try {
+    hello = Json::parse(payload);
+  } catch (const JsonError&) {
+    *reason = "malformed Hello payload";
+    return false;
+  }
+  const auto proto = static_cast<std::uint32_t>(hello.get_or("proto", 0.0));
+  if (proto != wire::kProtocolVersion) {
+    *reason = "protocol version mismatch (driver " +
+              std::to_string(wire::kProtocolVersion) + ", worker " +
+              std::to_string(proto) + ")";
+    return false;
+  }
+  std::string fp;
+  try {
+    fp = hello.at("fingerprint").as_string();
+  } catch (const JsonError&) {
+    *reason = "Hello carries no fingerprint field";
+    return false;
+  }
+  // An empty fingerprint is a fresh worker that has not served any run
+  // yet; a non-empty one must match, exactly like a resume manifest.
+  if (!fp.empty() && fp != options_.fingerprint) {
+    *reason = "fingerprint mismatch: worker served a different run";
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::service(std::uint64_t now_ns) {
+  // Adopt every connection the kernel has queued since the last tick.
+  for (;;) {
+    const int fd = net::accept_tcp(listen_fd_);
+    if (fd < 0) break;
+    net::set_nonblocking(fd, true);
+    net::set_tcp_nodelay(fd);
+    Pending p;
+    p.fd = fd;
+    p.deadline_ns =
+        now_ns + static_cast<std::uint64_t>(options_.handshake_timeout_ms) * 1'000'000ull;
+    pending_.push_back(std::move(p));
+  }
+
+  // Advance handshakes; drop anything corrupt, foreign, or stalled.
+  for (std::size_t i = 0; i < pending_.size();) {
+    Pending& p = pending_[i];
+    bool drop = false;
+    const WStatus pumped = p.reader.pump(p.fd);
+    wire::Frame f;
+    const WStatus st = p.reader.next(&f);
+    if (st == WStatus::Frame) {
+      std::string reason;
+      if (f.type == wire::FrameType::Hello && handshake_ok(f.payload_str(), &reason)) {
+        ready_.push_back(p.fd);
+        pending_.erase(pending_.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (reason.empty()) reason = "expected Hello frame";
+      wire::write_frame(p.fd, wire::FrameType::Reject, reason);
+      ++rejected_;
+      drop = true;
+    } else if (st == WStatus::Corrupt || pumped == WStatus::Eof ||
+               now_ns >= p.deadline_ns) {
+      drop = true;
+    }
+    if (drop) {
+      ::close(p.fd);
+      pending_.erase(pending_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+int TcpTransport::acquire(unsigned slot) {
+  (void)slot;
+  if (ready_.empty()) return -1;
+  const int fd = ready_.front();
+  ready_.pop_front();
+  ++adopted_;
+  return fd;
+}
+
+void TcpTransport::release(unsigned slot, int fd) {
+  (void)slot;
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace tbi::sim

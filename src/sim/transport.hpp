@@ -1,0 +1,61 @@
+/// \file transport.hpp
+/// Pluggable worker-connection transport for the distributed sweep
+/// driver (sim/dsweep.hpp).
+///
+/// The driver's failure handling — heartbeat liveness, in-flight cell
+/// reassignment, retry budgets, graceful in-process degradation — is
+/// transport-agnostic: all it needs is a way to *acquire* a connected
+/// worker fd for a slot and to *release* one it has given up on. Two
+/// implementations exist:
+///
+///  * the fork/exec socketpair backend (in dsweep.cpp): acquire() spawns
+///    a worker process re-invoking the current binary with --worker-fd;
+///    release() SIGKILLs and reaps it;
+///  * the TCP backend (net_transport.hpp): remote workers dial in and
+///    complete a fingerprint handshake; acquire() adopts a handshaken
+///    connection, release() closes the socket (the remote peer discovers
+///    the abandonment as EOF and reconnects with backoff).
+///
+/// Every frame on every transport uses the same tbi::wire CRC framing,
+/// so the driver's corrupt-batch and EOF handling is shared too.
+#pragma once
+
+#include <cstdint>
+
+namespace tbi::sim {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Whether an acquire() miss is transient (TCP: no handshaken
+  /// connection queued *yet*; retry next tick) or fatal for the slot
+  /// (fork: the process could not be spawned).
+  virtual bool transient_acquire() const = 0;
+
+  /// Driver-side fd to include in the poll set so transport-level events
+  /// (an inbound connection) wake the event loop; -1 when none.
+  virtual int event_fd() const { return -1; }
+
+  /// Pump transport-level work: accept pending connections, advance
+  /// handshakes, expire stale ones. Called every driver tick.
+  virtual void service(std::uint64_t now_ns) { (void)now_ns; }
+
+  /// True while connections are mid-handshake or queued for adoption — a
+  /// liveness signal that holds off the driver's no-worker degradation
+  /// timer.
+  virtual bool busy() const { return false; }
+
+  /// Produce a connected, handshake-complete worker fd for \p slot, or
+  /// -1 when none is available (see transient_acquire()).
+  virtual int acquire(unsigned slot) = 0;
+
+  /// Abandon a worker connection the driver has failed (dead, hung,
+  /// corrupt, or simply done): close \p fd and reclaim any transport
+  /// resources (fork: SIGKILL + reap the slot's process).
+  virtual void release(unsigned slot, int fd) = 0;
+};
+
+}  // namespace tbi::sim

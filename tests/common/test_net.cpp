@@ -1,0 +1,143 @@
+/// \file test_net.cpp
+/// TCP plumbing tests for the fleet transport: address parsing,
+/// listen/accept/connect round trips carrying real wire frames, bounded
+/// connect failure, and the SIGPIPE-ignored guarantee the driver and
+/// workers rely on when a peer dies mid-write.
+#include "common/net.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "common/wire.hpp"
+
+namespace tbi::net {
+namespace {
+
+TEST(NetSplitHostport, SplitsAtTheLastColon) {
+  std::string host, port, err;
+  ASSERT_TRUE(split_hostport("127.0.0.1:8080", &host, &port, &err)) << err;
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, "8080");
+}
+
+TEST(NetSplitHostport, EmptyHostMeansWildcard) {
+  std::string host, port, err;
+  ASSERT_TRUE(split_hostport(":0", &host, &port, &err)) << err;
+  EXPECT_EQ(host, "");
+  EXPECT_EQ(port, "0");
+}
+
+TEST(NetSplitHostport, BracketedIpv6LiteralKeepsItsColons) {
+  std::string host, port, err;
+  ASSERT_TRUE(split_hostport("[::1]:443", &host, &port, &err)) << err;
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, "443");
+}
+
+TEST(NetSplitHostport, RejectsMissingOrBadPort) {
+  std::string host, port, err;
+  EXPECT_FALSE(split_hostport("localhost", &host, &port, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(split_hostport("host:notaport", &host, &port, &err));
+  EXPECT_FALSE(split_hostport("host:", &host, &port, &err));
+  EXPECT_FALSE(split_hostport("host:70000", &host, &port, &err));
+}
+
+TEST(NetTcp, ListenConnectAcceptRoundTripsAWireFrame) {
+  std::string err;
+  const int lfd = listen_tcp("127.0.0.1:0", &err);
+  ASSERT_GE(lfd, 0) << err;
+  const std::uint16_t port = local_port(lfd);
+  ASSERT_NE(port, 0);
+
+  const std::string spec = "127.0.0.1:" + std::to_string(port);
+  const int cfd = connect_tcp(spec, 2000, &err);
+  ASSERT_GE(cfd, 0) << err;
+
+  // The listener is nonblocking: poll until the connection lands.
+  int afd = -1;
+  for (int i = 0; i < 400 && afd < 0; ++i) {
+    afd = accept_tcp(lfd);
+    if (afd < 0) ::usleep(5000);
+  }
+  ASSERT_GE(afd, 0);
+  set_nonblocking(afd, false);
+
+  ASSERT_TRUE(wire::write_frame(cfd, wire::FrameType::Hello, "{\"proto\":2}"));
+  wire::FrameReader r;
+  wire::Frame f;
+  ASSERT_EQ(wire::read_frame(afd, r, &f), wire::FrameReader::Status::Frame);
+  EXPECT_EQ(f.type, wire::FrameType::Hello);
+  EXPECT_EQ(f.payload_str(), "{\"proto\":2}");
+
+  ::close(afd);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+TEST(NetTcp, AcceptWithNothingPendingReturnsMinusOne) {
+  std::string err;
+  const int lfd = listen_tcp("127.0.0.1:0", &err);
+  ASSERT_GE(lfd, 0) << err;
+  EXPECT_EQ(accept_tcp(lfd), -1);
+  ::close(lfd);
+}
+
+TEST(NetTcp, ConnectToDeadPortFailsWithError) {
+  // Bind an ephemeral port, then close it: nobody listens there anymore.
+  std::string err;
+  const int lfd = listen_tcp("127.0.0.1:0", &err);
+  ASSERT_GE(lfd, 0) << err;
+  const std::uint16_t port = local_port(lfd);
+  ::close(lfd);
+
+  err.clear();
+  const int fd = connect_tcp("127.0.0.1:" + std::to_string(port), 500, &err);
+  EXPECT_EQ(fd, -1);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NetTcp, ListenOnMalformedSpecFails) {
+  std::string err;
+  EXPECT_EQ(listen_tcp("no-port-here", &err), -1);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NetTcp, ListenOnForeignAddressFails) {
+  // 192.0.2.0/24 is TEST-NET-1: never assigned to a local interface, so
+  // the bind must fail instead of silently listening elsewhere.
+  std::string err;
+  EXPECT_EQ(listen_tcp("192.0.2.1:0", &err), -1);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NetTcp, LocalPortOnBadFdIsZero) {
+  EXPECT_EQ(local_port(-1), 0);
+}
+
+TEST(NetSigpipe, RawWriteToClosedPeerFailsWithEpipeNotASignal) {
+  // The driver and workers both call ignore_sigpipe() on entry; a raw
+  // write(2) to a dead peer must then surface EPIPE — without the
+  // handler this test would die on SIGPIPE, not fail an expectation.
+  ignore_sigpipe();
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+
+  const char byte = 'x';
+  ssize_t n = 0;
+  for (int i = 0; i < 64; ++i) {
+    n = ::write(fds[1], &byte, 1);
+    if (n < 0) break;
+  }
+  EXPECT_LT(n, 0);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace tbi::net

@@ -46,6 +46,13 @@ int main(int argc, char** argv) {
   if (worker_fd >= 0) {
     return tbi::sim::dsweep_worker_main(worker_fd);
   }
+  // Remote-worker re-invocation (TCP transport tests): dial the driver.
+  const std::string connect_spec = tbi::sim::dsweep_worker_connect_arg(argc, argv);
+  if (!connect_spec.empty()) {
+    tbi::sim::WorkerConnectOptions wopt;
+    wopt.backoff_base_ms = 10;  // keep kill/reconnect tests fast
+    return tbi::sim::dsweep_worker_connect(connect_spec, wopt);
+  }
 
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

@@ -177,6 +177,13 @@ TEST(Dsweep, ResumeRejectsManifestFromDifferentRun) {
   std::remove(manifest.c_str());
 }
 
+TEST(Dsweep, NonPositiveWorkerTimeoutIsRejected) {
+  DsweepOptions opt;
+  opt.heartbeat_timeout_ms = 0;
+  EXPECT_THROW(dsweep_run("test-echo", echo_job(), 4, kSeed, opt),
+               std::invalid_argument);
+}
+
 TEST(Dsweep, UnknownKernelThrows) {
   DsweepOptions opt;
   EXPECT_THROW(dsweep_run("no-such-kernel", Json(), 1, 1, opt),
@@ -207,6 +214,165 @@ TEST(Dsweep, DeterministicKernelFailurePropagatesInProcess) {
   opt.threads = 2;
   EXPECT_THROW(dsweep_run("test-fail-at", job, 4, kSeed, opt),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sweeps: any I/N partition must merge back byte-identically.
+// ---------------------------------------------------------------------------
+
+TEST(DsweepShard, RangesTileTheGridExactly) {
+  for (const std::uint64_t cells : {std::uint64_t(1), std::uint64_t(7),
+                                    std::uint64_t(24), std::uint64_t(100)}) {
+    for (const unsigned n : {1u, 2u, 3u, 5u, 24u}) {
+      std::uint64_t next = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        const auto r = shard_range(cells, i, n);
+        EXPECT_EQ(r.begin, next) << cells << " cells, shard " << i << "/" << n;
+        EXPECT_LE(r.size(), cells / n + 1);
+        next = r.end;
+      }
+      EXPECT_EQ(next, cells) << cells << " cells over " << n << " shards";
+    }
+  }
+  EXPECT_THROW(shard_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(shard_range(10, 3, 3), std::invalid_argument);
+}
+
+TEST(DsweepShard, ParseShardSpecValidatesInput) {
+  unsigned index = 9;
+  unsigned count = 9;
+  parse_shard_spec("1/3", &index, &count);
+  EXPECT_EQ(index, 1u);
+  EXPECT_EQ(count, 3u);
+  for (const char* bad : {"", "1", "/", "1/", "/3", "a/3", "1/b", "3/3", "4/3",
+                          "0/0", "1/3/5", "-1/3"}) {
+    EXPECT_THROW(parse_shard_spec(bad, &index, &count), std::invalid_argument)
+        << "spec '" << bad << "'";
+  }
+}
+
+TEST(DsweepShard, AnyPartitionMergesByteIdenticalToUnsharded) {
+  for (const unsigned n : {2u, 3u, 5u}) {
+    std::vector<std::string> manifests;
+    for (unsigned i = 0; i < n; ++i) {
+      const std::string tag =
+          "shard" + std::to_string(n) + "_" + std::to_string(i);
+      const std::string m = temp_manifest(tag.c_str());
+      std::remove(m.c_str());
+      manifests.push_back(m);
+
+      DsweepOptions opt;
+      opt.workers = 1;
+      opt.threads = 2;
+      opt.manifest_path = m;
+      opt.shard_index = i;
+      opt.shard_count = n;
+      const auto res = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+      EXPECT_FALSE(res.stats.interrupted);
+      // A shard computes exactly its contiguous range, nothing else.
+      const auto range = shard_range(kCells, i, n);
+      for (std::uint64_t c = 0; c < kCells; ++c) {
+        EXPECT_EQ(static_cast<bool>(res.done[c]), range.contains(c))
+            << "shard " << i << "/" << n << ", cell " << c;
+      }
+    }
+
+    const auto merged =
+        dsweep_merge_shards("test-echo", echo_job(), kCells, kSeed, manifests);
+    expect_matches_reference(merged);
+    for (const auto& m : manifests) std::remove(m.c_str());
+  }
+}
+
+TEST(DsweepShard, TornTailShardResumesAndMergesIdentically) {
+  const std::string m0 = temp_manifest("torn0");
+  const std::string m1 = temp_manifest("torn1");
+  std::remove(m0.c_str());
+  std::remove(m1.c_str());
+
+  // Shard 0 is preempted mid-run...
+  auto opt0 = fast_recovery_options(1);
+  opt0.manifest_path = m0;
+  opt0.shard_index = 0;
+  opt0.shard_count = 2;
+  opt0.faults = FaultSpec::parse("abort-after=2");
+  const auto partial = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt0);
+  EXPECT_TRUE(partial.stats.interrupted);
+
+  // ...and the crash tears the journal's final line.
+  {
+    std::FILE* f = std::fopen(m0.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"cell\": 999, \"rec", f);
+    std::fclose(f);
+  }
+
+  auto resume0 = fast_recovery_options(1);
+  resume0.manifest_path = m0;
+  resume0.shard_index = 0;
+  resume0.shard_count = 2;
+  resume0.resume = true;
+  const auto full0 = dsweep_run("test-echo", echo_job(), kCells, kSeed, resume0);
+  EXPECT_FALSE(full0.stats.interrupted);
+  EXPECT_GE(full0.stats.resumed_cells, 2u);
+
+  auto opt1 = fast_recovery_options(1);
+  opt1.manifest_path = m1;
+  opt1.shard_index = 1;
+  opt1.shard_count = 2;
+  const auto full1 = dsweep_run("test-echo", echo_job(), kCells, kSeed, opt1);
+  EXPECT_FALSE(full1.stats.interrupted);
+
+  const auto merged =
+      dsweep_merge_shards("test-echo", echo_job(), kCells, kSeed, {m0, m1});
+  expect_matches_reference(merged);
+  std::remove(m0.c_str());
+  std::remove(m1.c_str());
+}
+
+TEST(DsweepShard, MergeRejectsForeignManifest) {
+  const std::string m0 = temp_manifest("foreign0");
+  const std::string m1 = temp_manifest("foreign1");
+  std::remove(m0.c_str());
+  std::remove(m1.c_str());
+
+  auto opt = fast_recovery_options(1);
+  opt.manifest_path = m0;
+  opt.shard_index = 0;
+  opt.shard_count = 2;
+  (void)dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+
+  // Shard 1 computed under a different base seed: merging it would mix
+  // two different runs, exactly like resuming from a foreign manifest.
+  opt.manifest_path = m1;
+  opt.shard_index = 1;
+  (void)dsweep_run("test-echo", echo_job(), kCells, kSeed + 1, opt);
+
+  EXPECT_THROW(
+      dsweep_merge_shards("test-echo", echo_job(), kCells, kSeed, {m0, m1}),
+      std::runtime_error);
+  std::remove(m0.c_str());
+  std::remove(m1.c_str());
+}
+
+TEST(DsweepShard, MergeRequiresFullCoverage) {
+  const std::string m0 = temp_manifest("coverage0");
+  std::remove(m0.c_str());
+
+  auto opt = fast_recovery_options(1);
+  opt.manifest_path = m0;
+  opt.shard_index = 0;
+  opt.shard_count = 2;
+  (void)dsweep_run("test-echo", echo_job(), kCells, kSeed, opt);
+
+  // Half the grid is missing: an unfinished fleet must be an error, not
+  // a silently truncated result.
+  EXPECT_THROW(dsweep_merge_shards("test-echo", echo_job(), kCells, kSeed, {m0}),
+               std::runtime_error);
+  EXPECT_THROW(dsweep_merge_shards("test-echo", echo_job(), kCells, kSeed,
+                                   {m0, "/nonexistent/dir/x.manifest"}),
+               std::runtime_error);
+  std::remove(m0.c_str());
 }
 
 // ---------------------------------------------------------------------------
