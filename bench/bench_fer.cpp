@@ -44,6 +44,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dram/standards.hpp"
+#include "fec/gf256_simd.hpp"
 #include "perf/counters.hpp"
 #include "sim/dsweep.hpp"
 #include "sim/manifest.hpp"
@@ -82,6 +83,9 @@ int main(int argc, char** argv) {
   cli.add_option("side", "s", "interleaver side (0 = RS-255 triangle; bursts for two-stage)");
   cli.add_option("spb", "b", "two-stage symbols per DRAM burst (default 64)");
   cli.add_option("links", "n", "downlinks interleaved on the wire (default 1)");
+  cli.add_option("frame-slices", "n",
+                 "split each streaming cell's frames into n intra-frame "
+                 "channel slices spread over the sweep workers (default 1)");
   cli.add_option("listen", "h:p", "adopt remote TCP workers (fleet driver mode)");
   cli.add_option("connect", "h:p", "serve a --listen driver as a remote worker");
   cli.add_option("worker-timeout-ms", "ms",
@@ -143,6 +147,12 @@ int main(int argc, char** argv) {
   options.base.error_rate_bad = 0.95;
   options.base.side = static_cast<std::uint64_t>(cli.get_int("side", 0));
   options.base.symbols_per_burst = static_cast<std::uint64_t>(cli.get_int("spb", 64));
+  const std::int64_t frame_slices = cli.get_int("frame-slices", 1);
+  if (frame_slices <= 0) {
+    std::fprintf(stderr, "error: --frame-slices must be >= 1\n");
+    return 1;
+  }
+  options.frame_slices = static_cast<unsigned>(frame_slices);
 
   tbi::sim::DsweepOptions dist;
   dist.workers = static_cast<unsigned>(cli.get_int("workers", 1));
@@ -237,6 +247,13 @@ int main(int argc, char** argv) {
     if (!stable) {
       config["threads"] = static_cast<std::uint64_t>(options.sweep.threads);
       config["workers"] = static_cast<std::uint64_t>(dist.workers);
+      // Which GF(2^8) kernel dispatch picked (TBI_SIMD override included)
+      // — lets bench_compare trend lines name the backend they measured.
+      config["simd_backend"] =
+          tbi::fec::gf256_backend_name(tbi::fec::gf256_active_backend());
+    }
+    if (options.frame_slices > 1) {
+      config["frame_slices"] = static_cast<std::uint64_t>(options.frame_slices);
     }
     config["fade_prob"] = options.base.fade_fraction;
     config["burst_symbols"] = options.base.mean_burst_symbols;

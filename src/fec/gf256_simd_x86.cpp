@@ -1,0 +1,119 @@
+/// \file gf256_simd_x86.cpp
+/// AVX2 / GFNI bodies of the GF(2^8) constant-multiplier kernel. The ONLY
+/// translation unit compiled with -mavx2 -mgfni (see CMakeLists.txt): the
+/// dispatcher in gf256_simd.cpp never calls into here unless CPUID says the
+/// host executes these encodings, so no other object file carries ISA the
+/// machine may lack.
+#include "fec/gf256_simd.hpp"
+
+#if !defined(TBI_SIMD_X86)
+#error "gf256_simd_x86.cpp must be compiled with TBI_SIMD_X86 defined"
+#endif
+
+#include <immintrin.h>
+
+namespace tbi::fec::detail {
+
+namespace {
+
+/// One 16-byte split-table step: acc-style dst ^= m * src via two vpshufb
+/// lookups on the low/high source nibbles.
+inline __m128i mul128(__m128i src, __m128i lo, __m128i hi, __m128i mask) {
+  const __m128i lo_nib = _mm_and_si128(src, mask);
+  const __m128i hi_nib = _mm_and_si128(_mm_srli_epi16(src, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo, lo_nib),
+                       _mm_shuffle_epi8(hi, hi_nib));
+}
+
+inline __m256i mul256(__m256i src, __m256i lo, __m256i hi, __m256i mask) {
+  const __m256i lo_nib = _mm256_and_si256(src, mask);
+  const __m256i hi_nib = _mm256_and_si256(_mm256_srli_epi16(src, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_nib),
+                          _mm256_shuffle_epi8(hi, hi_nib));
+}
+
+}  // namespace
+
+void gf256_muladd_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                       std::uint8_t m, std::size_t len) {
+  if (m == 0 || len == 0) return;
+  const __m128i lo128 =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kGfNibbleTables.lo[m]));
+  const __m128i hi128 =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kGfNibbleTables.hi[m]));
+  const __m256i lo = _mm256_broadcastsi128_si256(lo128);
+  const __m256i hi = _mm256_broadcastsi128_si256(hi128);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  // 64-byte strips: two independent 32-byte lanes per iteration keep the
+  // shuffle ports busy across the load->xor->store dependency chains.
+  for (; i + 64 <= len; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    d0 = _mm256_xor_si256(d0, mul256(s0, lo, hi, mask));
+    d1 = _mm256_xor_si256(d1, mul256(s1, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    d = _mm256_xor_si256(d, mul256(s, lo, hi, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  // 16-byte sub-strip so short parity rows (p = 16 at rs_k = 239) still
+  // vectorize instead of falling through to the byte tail.
+  const __m128i mask128 = _mm_set1_epi8(0x0F);
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    d = _mm_xor_si128(d, mul128(s, lo128, hi128, mask128));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < len) gf256_muladd_scalar(dst + i, src + i, m, len - i);
+}
+
+void gf256_muladd_gfni(std::uint8_t* dst, const std::uint8_t* src,
+                       std::uint8_t m, std::size_t len) {
+  if (m == 0 || len == 0) return;
+  const __m256i mat = _mm256_set1_epi64x(static_cast<long long>(kGfAffine.m[m]));
+  const __m128i mat128 = _mm256_castsi256_si128(mat);
+  std::size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    d0 = _mm256_xor_si256(d0, _mm256_gf2p8affine_epi64_epi8(s0, mat, 0));
+    d1 = _mm256_xor_si256(d1, _mm256_gf2p8affine_epi64_epi8(s1, mat, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    d = _mm256_xor_si256(d, _mm256_gf2p8affine_epi64_epi8(s, mat, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    d = _mm_xor_si128(d, _mm_gf2p8affine_epi64_epi8(s, mat128, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < len) gf256_muladd_scalar(dst + i, src + i, m, len - i);
+}
+
+}  // namespace tbi::fec::detail

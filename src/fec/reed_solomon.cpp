@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fec/gf256_simd.hpp"
+
 namespace tbi::fec {
 
 namespace {
@@ -36,22 +38,26 @@ ReedSolomon::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k) {
     generator_ = std::move(next);
   }
 
-  // Constant-multiplier tables for the two hot loops. gen_scaled_ is laid
-  // out feedback-major so one encode step reads a single contiguous
-  // parity-sized row.
+  // Row operands for the two vectorized hot loops (gf256_simd.hpp).
+  // Encode's long division subtracts feedback * g(x) with coefficients
+  // descending in power — the monic leading term cancels the current
+  // dividend coefficient implicitly, the rest is the reversed generator.
   const unsigned p = parity();
-  gen_scaled_.resize(256);
-  for (unsigned f = 0; f < 256; ++f) {
-    for (unsigned d = 0; d < p; ++d) {
-      gen_scaled_[f][d] =
-          GF256::mul(static_cast<std::uint8_t>(f), generator_[d]);
-    }
-  }
-  root_scaled_.resize(p);
-  for (unsigned i = 0; i < p; ++i) {
-    const std::uint8_t x = GF256::pow_alpha(i + 1);
-    for (unsigned a = 0; a < 256; ++a) {
-      root_scaled_[i][a] = GF256::mul(static_cast<std::uint8_t>(a), x);
+  grev_.assign(p, 0);
+  for (unsigned j = 0; j < p; ++j) grev_[j] = generator_[p - 1 - j];
+
+  // Syndromes as row accumulation instead of Horner: S_i = r(alpha^i) =
+  // sum_j word[j] * alpha^{i(n-1-j)}, so each received position j owns a
+  // contiguous row of root powers that one muladd folds into all parity
+  // accumulators at once. Rows are padded to a whole number of 16-byte
+  // strips with further (valid) powers; the padded accumulator lanes are
+  // never read.
+  row_stride_ = (p + 15u) & ~15u;
+  pow_rows_.assign(static_cast<std::size_t>(n_) * row_stride_, 0);
+  for (unsigned j = 0; j < n_; ++j) {
+    std::uint8_t* row = pow_rows_.data() + static_cast<std::size_t>(j) * row_stride_;
+    for (unsigned i = 0; i < row_stride_; ++i) {
+      row[i] = GF256::pow_alpha((i + 1u) * (n_ - 1u - j));
     }
   }
 }
@@ -61,38 +67,40 @@ void ReedSolomon::encode(std::span<const std::uint8_t> data,
   if (data.size() != k_ || word.size() != n_) {
     throw std::invalid_argument("ReedSolomon::encode: bad size");
   }
-  // Systematic encoding: remainder of data * x^(n-k) divided by g(x),
-  // with every feedback product coming from one precomputed table row.
+  // Systematic encoding as in-place long division of data * x^(n-k) by
+  // g(x): the dividend starts as [data | 0^p]; each step cancels the
+  // leading coefficient and XOR-accumulates feedback * grev_ into the
+  // next p coefficients with one vector muladd. What remains in
+  // c[k..n) IS the parity, already in the word's high-degree-first
+  // layout (c[k+d] is the coefficient of x^(p-1-d)).
   const unsigned p = parity();
-  std::array<std::uint8_t, 256> remainder{};
+  alignas(32) std::uint8_t c[255];
+  std::copy(data.begin(), data.end(), c);
+  std::fill(c + k_, c + n_, 0);
   for (unsigned i = 0; i < k_; ++i) {
-    const std::uint8_t feedback = static_cast<std::uint8_t>(data[i] ^ remainder[p - 1]);
-    const std::uint8_t* row = gen_scaled_[feedback].data();
-    for (unsigned d = p; d-- > 1;) {
-      remainder[d] = static_cast<std::uint8_t>(remainder[d - 1] ^ row[d]);
-    }
-    remainder[0] = row[0];
+    const std::uint8_t f = c[i];
+    if (f != 0) gf256_muladd(c + i + 1, grev_.data(), f, p);
   }
   if (word.data() != data.data()) {
     std::copy(data.begin(), data.end(), word.begin());
   }
-  // Parity appended high-degree-first so that word[j] is the coefficient
-  // of x^(n-1-j) throughout.
-  for (unsigned d = 0; d < p; ++d) word[k_ + d] = remainder[p - 1 - d];
+  std::copy(c + k_, c + n_, word.begin() + k_);
 }
 
 bool ReedSolomon::syndromes(std::span<const std::uint8_t> word,
                             std::span<std::uint8_t> out) const {
-  // word[j] is the coefficient of x^(n-1-j); S_i = r(alpha^i), evaluated
-  // by Horner with one constant-multiplier table per root. The symbol
-  // loop is outermost so the per-root accumulator chains stay
-  // independent (ILP) and each symbol is loaded once.
+  // word[j] is the coefficient of x^(n-1-j); S_i = r(alpha^i) =
+  // sum_j word[j] * alpha^{i(n-1-j)}, accumulated one precomputed power
+  // row per nonzero symbol so every step is a single vector muladd over
+  // all parity lanes (plus deterministic padding lanes, never read).
   const unsigned p = parity();
-  std::array<std::uint8_t, 256> acc{};
+  alignas(32) std::array<std::uint8_t, 256> acc{};
   for (unsigned j = 0; j < n_; ++j) {
     const std::uint8_t w = word[j];
-    for (unsigned i = 0; i < p; ++i) {
-      acc[i] = static_cast<std::uint8_t>(root_scaled_[i][acc[i]] ^ w);
+    if (w != 0) {
+      gf256_muladd(acc.data(),
+                   pow_rows_.data() + static_cast<std::size_t>(j) * row_stride_,
+                   w, row_stride_);
     }
   }
   std::uint8_t any = 0;

@@ -10,11 +10,14 @@
 /// Decoder: syndromes -> Berlekamp-Massey -> Chien search -> Forney,
 /// correcting up to t = (n-k)/2 symbol errors per code word.
 ///
-/// Hot-path design: the constructor precomputes one 256-entry
-/// constant-multiplier table per generator coefficient (encode) and per
-/// syndrome root (Horner evaluation), so the two inner loops that
-/// dominate an FER sweep are pure xor + table lookups with no log/exp
-/// arithmetic. The span overloads of encode()/decode() write into
+/// Hot-path design: encode and the syndrome pass both reduce to the
+/// vectorized constant-multiplier kernel of gf256_simd.hpp. Encode is an
+/// in-place long division whose feedback step XOR-accumulates one
+/// reversed-generator row per data symbol; syndromes XOR-accumulate one
+/// precomputed power row per nonzero received symbol
+/// (S_i = sum_j w_j * alpha^{i(n-1-j)}), so both inner loops run in
+/// 16/32/64-byte SIMD strips (DESIGN.md §8) and stay byte-identical to
+/// the scalar backend. The span overloads of encode()/decode() write into
 /// caller-owned buffers and an RsScratch workspace, so a steady-state
 /// pipeline performs zero heap allocations per code word; the vector
 /// overloads remain as convenience wrappers with identical results.
@@ -96,11 +99,18 @@ class ReedSolomon {
   unsigned n_;
   unsigned k_;
   std::vector<std::uint8_t> generator_;  ///< generator polynomial, low degree first
-  /// gen_scaled_[f][d] = f * generator_[d]: encode's feedback products,
-  /// feedback-major so one encode step reads one contiguous row.
-  std::vector<std::array<std::uint8_t, 256>> gen_scaled_;
-  /// root_scaled_[i][a] = a * alpha^(i+1): Horner step of syndrome S_{i+1}.
-  std::vector<std::array<std::uint8_t, 256>> root_scaled_;
+  /// generator_ reversed and without its monic leading term:
+  /// grev_[j] = generator_[parity-1-j]. Encode's long-division step
+  /// XOR-accumulates feedback * grev_ over the next parity dividend
+  /// coefficients with one gf256_muladd.
+  std::vector<std::uint8_t> grev_;
+  /// Per-position syndrome power rows, 16-byte-strided so every row is a
+  /// whole number of SIMD strips: pow_rows_[j*row_stride_ + i] =
+  /// alpha^{(i+1)(n-1-j)}. Lanes in [parity, row_stride_) hold valid
+  /// powers too; their accumulator lanes are deterministic garbage that
+  /// syndromes() never reads.
+  std::vector<std::uint8_t> pow_rows_;
+  unsigned row_stride_ = 0;
 };
 
 }  // namespace tbi::fec

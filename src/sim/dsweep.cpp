@@ -1011,10 +1011,23 @@ Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options) {
   Json job;
   job["grid"] = g;
   job["base"] = base;
+  // Intra-frame slicing rides in the job config so a worker can recover
+  // (cell, slice) from its expanded index and recompute the cell's own
+  // seed — the driver's per-record seeds walk the expanded cell x slice
+  // space. base_seed travels as a string: Json numbers are doubles and
+  // would round 64-bit seeds. Both keys are omitted for frame_slices == 1
+  // so classic sweeps keep their pre-slice fingerprints (old manifests
+  // resume fine).
+  if (options.frame_slices > 1) {
+    job["frame_slices"] = static_cast<std::uint64_t>(options.frame_slices);
+    job["base_seed"] = std::to_string(options.sweep.base_seed);
+  }
   return job;
 }
 
-Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result) {
+namespace {
+
+Json fer_scenario_to_json(const Scenario& scenario) {
   Json sc;
   sc["device"] = scenario.device;
   sc["mapping_spec"] = scenario.mapping_spec;
@@ -1023,6 +1036,13 @@ Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result) {
   sc["rs_k"] = static_cast<std::uint64_t>(scenario.rs_k);
   sc["symbols_per_burst"] = scenario.symbols_per_burst;
   sc["links"] = static_cast<std::uint64_t>(scenario.links);
+  return sc;
+}
+
+}  // namespace
+
+Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result) {
+  Json sc = fer_scenario_to_json(scenario);
 
   Json r;
   r["frames"] = result.frames;
@@ -1087,19 +1107,134 @@ FerCell fer_cell_from_json(const Json& record) {
   return cell;
 }
 
+Json fer_slice_to_json(const Scenario& scenario, const PipelineSliceResult& s) {
+  Json r;
+  r["index"] = static_cast<std::uint64_t>(s.slice);
+  r["count"] = static_cast<std::uint64_t>(s.num_slices);
+  r["frames"] = s.frames;
+  r["channel_symbols"] = s.channel_symbols;
+  r["channel_symbol_errors"] = s.channel_symbol_errors;
+  r["workspace_peak_bytes"] = s.workspace_peak_bytes;
+  r["host_ns"] = s.host_ns;
+  // Flat (frame, input_index, flip) triplets. Input indices are frame
+  // positions (< 2^53 by a wide margin), so double-backed Json numbers
+  // carry them exactly.
+  Json::Array hits;
+  hits.reserve(s.hits.size() * 3);
+  for (const StreamHit& h : s.hits) {
+    hits.push_back(Json(h.frame));
+    hits.push_back(Json(h.input_index));
+    hits.push_back(Json(static_cast<std::uint64_t>(h.flip)));
+  }
+  r["hits"] = Json(std::move(hits));
+
+  Json j;
+  j["scenario"] = fer_scenario_to_json(scenario);
+  j["slice"] = r;
+  return j;
+}
+
+PipelineSliceResult fer_slice_from_json(const Json& record) {
+  const Json& r = record.at("slice");
+  const auto u64 = [&r](const char* key) {
+    return static_cast<std::uint64_t>(r.at(key).as_double());
+  };
+  PipelineSliceResult s;
+  s.slice = static_cast<unsigned>(u64("index"));
+  s.num_slices = static_cast<unsigned>(u64("count"));
+  s.frames = u64("frames");
+  s.channel_symbols = u64("channel_symbols");
+  s.channel_symbol_errors = u64("channel_symbol_errors");
+  s.workspace_peak_bytes = u64("workspace_peak_bytes");
+  s.host_ns = u64("host_ns");
+  const auto& hits = r.at("hits").as_array();
+  if (hits.size() % 3 != 0) {
+    throw std::invalid_argument("fer slice record: torn hits array");
+  }
+  s.hits.reserve(hits.size() / 3);
+  for (std::size_t i = 0; i < hits.size(); i += 3) {
+    StreamHit h;
+    h.frame = static_cast<std::uint64_t>(hits[i].as_double());
+    h.input_index = static_cast<std::uint64_t>(hits[i + 1].as_double());
+    h.flip = static_cast<std::uint8_t>(hits[i + 2].as_double());
+    s.hits.push_back(h);
+  }
+  return s;
+}
+
+namespace {
+
+/// Merge an expanded cell x slice run back to one FerCell per scenario:
+/// streaming cells combine their slices (channel events merged, decode +
+/// DRAM phases run here — both deterministic), materialized cells were
+/// computed whole by their slice 0. A cell is done only when every one of
+/// its slices is.
+FerDistResult fer_dist_from_sliced(const SweepGrid& grid,
+                                   const FerSweepOptions& options,
+                                   DsweepResult res) {
+  const unsigned S = options.frame_slices;
+  const std::uint64_t cells = grid.size();
+  FerDistResult out;
+  out.stats = std::move(res.stats);
+  out.done.assign(cells, false);
+  out.cells.resize(cells);
+  std::map<unsigned, fec::ReedSolomon> codecs;
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    bool all = true;
+    for (unsigned s = 0; s < S && all; ++s) all = res.done[c * S + s];
+    if (!all) continue;
+    const Json& first = res.records[c * S];
+    if (first.contains("slice")) {
+      std::vector<PipelineSliceResult> slices;
+      slices.reserve(S);
+      for (unsigned s = 0; s < S; ++s) {
+        slices.push_back(fer_slice_from_json(res.records[c * S + s]));
+      }
+      const Scenario scenario = grid.cell(c);
+      const PipelineConfig config = fer_cell_config(
+          options.base, scenario, job_seed(options.sweep.base_seed, c));
+      auto it = codecs.find(scenario.rs_k);
+      if (it == codecs.end()) {
+        it = codecs.try_emplace(scenario.rs_k, options.base.rs_n, scenario.rs_k)
+                 .first;
+      }
+      FerCell cell;
+      cell.scenario = scenario;
+      cell.result = combine_pipeline_slices(config, it->second, std::move(slices));
+      if (cell.result.dram_ran) {
+        cell.dram_bursts = cell.result.dram.total_bursts();
+        cell.dram_sched_ns_per_pick = cell.result.dram.sched_ns_per_pick();
+      }
+      out.cells[c] = std::move(cell);
+    } else {
+      out.cells[c] = fer_cell_from_json(first);
+    }
+    out.done[c] = true;
+  }
+  return out;
+}
+
+}  // namespace
+
 FerDistResult run_fer_sweep_dist(const SweepGrid& grid, const FerSweepOptions& options,
                                  DsweepOptions dist) {
   dist.threads = options.sweep.threads;
   const Json job = fer_job_config(grid, options);
-  return fer_dist_from_dsweep(
-      dsweep_run("fer", job, grid.size(), options.sweep.base_seed, dist));
+  const unsigned S = options.frame_slices > 1 ? options.frame_slices : 1;
+  DsweepResult res =
+      dsweep_run("fer", job, grid.size() * S, options.sweep.base_seed, dist);
+  if (S > 1) return fer_dist_from_sliced(grid, options, std::move(res));
+  return fer_dist_from_dsweep(std::move(res));
 }
 
 FerDistResult run_fer_merge_shards(const SweepGrid& grid, const FerSweepOptions& options,
                                    const std::vector<std::string>& manifest_paths) {
   const Json job = fer_job_config(grid, options);
-  return fer_dist_from_dsweep(dsweep_merge_shards(
-      "fer", job, grid.size(), options.sweep.base_seed, manifest_paths));
+  const unsigned S = options.frame_slices > 1 ? options.frame_slices : 1;
+  DsweepResult res = dsweep_merge_shards("fer", job, grid.size() * S,
+                                         options.sweep.base_seed, manifest_paths);
+  if (S > 1) return fer_dist_from_sliced(grid, options, std::move(res));
+  return fer_dist_from_dsweep(std::move(res));
 }
 
 }  // namespace tbi::sim

@@ -222,6 +222,13 @@ Json fer_job_config(const SweepGrid& grid, const FerSweepOptions& options);
 Json fer_cell_to_json(const Scenario& scenario, const PipelineResult& result);
 FerCell fer_cell_from_json(const Json& record);
 
+/// Wire-format conversions for one intra-frame slice record (the "fer"
+/// kernel's output when the job config carries frame_slices > 1): the
+/// slice's channel counters plus its flat (frame, input_index, flip)
+/// event triplets.
+Json fer_slice_to_json(const Scenario& scenario, const PipelineSliceResult& slice);
+PipelineSliceResult fer_slice_from_json(const Json& record);
+
 /// run_fer_sweep on the distributed backend: same grid semantics, same
 /// per-cell seeds, records merged in single-process order. `dist.threads`
 /// is taken from `options.sweep.threads`.

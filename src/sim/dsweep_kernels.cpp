@@ -87,15 +87,45 @@ PipelineConfig base_from_json(const Json& b) {
 /// "fer": one cell of a FER sweep. Mirrors run_fer_sweep's per-cell body
 /// exactly (fer_cell_config is shared), so the distributed path produces
 /// byte-identical records.
+///
+/// When the job config carries frame_slices = S > 1, the index space is
+/// expanded to grid.size() x S and this kernel computes one intra-frame
+/// channel slice of cell index/S instead (run_pipeline_slice); the driver
+/// merges the S slice records with combine_pipeline_slices. Every slice
+/// of a cell must run under the cell's own seed, so slice mode recomputes
+/// it from the job-carried base_seed rather than using the driver's
+/// expanded-index seed.
 Json fer_kernel(const Json& job, std::uint64_t index, std::uint64_t seed) {
   const SweepGrid grid = grid_from_json(job.at("grid"));
   const PipelineConfig base = base_from_json(job.at("base"));
-  const Scenario scenario = grid.cell(index);
+  const auto num_slices =
+      static_cast<unsigned>(job.get_or("frame_slices", 1.0));
+  std::uint64_t cell = index;
+  unsigned slice = 0;
+  std::uint64_t cell_seed = seed;
+  if (num_slices > 1) {
+    cell = index / num_slices;
+    slice = static_cast<unsigned>(index % num_slices);
+    cell_seed = job_seed(std::stoull(job.at("base_seed").as_string()), cell);
+  }
+  const Scenario scenario = grid.cell(cell);
   if (base.rs_n > 255 || scenario.rs_k == 0 || scenario.rs_k >= base.rs_n ||
       (base.rs_n - scenario.rs_k) % 2 != 0) {
     throw std::invalid_argument("fer kernel: invalid RS(n, k)");
   }
-  const PipelineConfig config = fer_cell_config(base, scenario, seed);
+  const PipelineConfig config = fer_cell_config(base, scenario, cell_seed);
+  if (num_slices > 1 && pipeline_streams(config)) {
+    return fer_slice_to_json(scenario,
+                             run_pipeline_slice(config, slice, num_slices));
+  }
+  if (num_slices > 1 && slice != 0) {
+    // Materialized cells can't split inside a frame; their slice 0
+    // computes the whole cell and the remaining slices are placeholders
+    // the merge step skips.
+    Json j;
+    j["skipped"] = true;
+    return j;
+  }
   const fec::ReedSolomon rs(config.rs_n, config.rs_k);
   return fer_cell_to_json(scenario, run_pipeline(config, rs));
 }

@@ -278,6 +278,55 @@ void run_frames_materialized(const PipelineConfig& config,
       ws.allocated_bytes() + (src != nullptr ? src->scratch_bytes() : 0);
 }
 
+/// Decode one streaming frame from its sorted per-frame hit list
+/// (ws.hits): words with no hits decode trivially and are only counted,
+/// words with hits are regenerated from their per-word seed, re-encoded,
+/// corrupted and decoded for real. Shared verbatim by run_frames_streaming
+/// and combine_pipeline_slices, which is what keeps sliced runs
+/// byte-identical to unsliced ones.
+void decode_streaming_frame(const fec::ReedSolomon& rs,
+                            std::uint64_t words_per_frame,
+                            std::uint64_t frame_seed, Rng& word_rng,
+                            FrameWorkspace& ws, PipelineResult& result) {
+  const unsigned n = rs.n();
+  const unsigned k = rs.k();
+  std::uint8_t* word = ws.word.data();
+  result.code_words += words_per_frame;
+  std::uint64_t failures = 0;
+  std::size_t h = 0;
+  while (h < ws.hits.size()) {
+    const std::uint64_t w = ws.hits[h].input_index / n;
+    std::size_t h_end = h + 1;
+    while (h_end < ws.hits.size() && ws.hits[h_end].input_index / n == w) {
+      ++h_end;
+    }
+    if (w >= words_per_frame) break;  // hits in the zero-padding tail
+
+    // Regenerate the transmitted word from its per-word seed.
+    word_rng.reseed(job_seed(frame_seed, w));
+    for (unsigned d = 0; d < k; ++d) {
+      word[d] = static_cast<std::uint8_t>(word_rng.next_u64());
+    }
+    std::copy(word, word + k, ws.data.begin());
+    rs.encode(std::span<const std::uint8_t>(word, k),
+              std::span<std::uint8_t>(word, n));
+    for (std::size_t i = h; i < h_end; ++i) {
+      word[ws.hits[i].input_index - w * n] ^= ws.hits[i].flip;
+    }
+    const auto res = rs.decode(std::span<std::uint8_t>(word, n), ws.rs_scratch);
+    const bool data_ok =
+        res.ok && std::equal(ws.data.begin(), ws.data.end(), word);
+    if (data_ok) {
+      result.corrected_symbols += res.corrected_symbols;
+    } else {
+      ++failures;
+    }
+    h = h_end;
+  }
+  result.word_errors += failures;
+  result.frame_errors += failures != 0;
+}
+
 /// Streaming path: frame size decoupled from the code word, bounded
 /// memory. Full RS(n, k) words are packed back to back into the
 /// interleaver capacity (a sub-word tail stays zero padding).
@@ -301,7 +350,6 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
   Rng word_rng;
 
   FrameWorkspace ws = FrameWorkspace::streaming(n, k);
-  std::uint8_t* word = ws.word.data();
 
   const std::uint64_t host_start = perf::now_ns();
   perf::AllocationScope alloc_scope;
@@ -328,47 +376,49 @@ void run_frames_streaming(const PipelineConfig& config, const fec::ReedSolomon& 
     }
 
     // --- decode: only words the channel actually touched do work -----------
-    result.code_words += words_per_frame;
-    const std::uint64_t frame_seed = job_seed(data_root, f);
-    std::uint64_t failures = 0;
-    std::size_t h = 0;
-    while (h < ws.hits.size()) {
-      const std::uint64_t w = ws.hits[h].input_index / n;
-      std::size_t h_end = h + 1;
-      while (h_end < ws.hits.size() && ws.hits[h_end].input_index / n == w) {
-        ++h_end;
-      }
-      if (w >= words_per_frame) break;  // hits in the zero-padding tail
-
-      // Regenerate the transmitted word from its per-word seed.
-      word_rng.reseed(job_seed(frame_seed, w));
-      for (unsigned d = 0; d < k; ++d) {
-        word[d] = static_cast<std::uint8_t>(word_rng.next_u64());
-      }
-      std::copy(word, word + k, ws.data.begin());
-      rs.encode(std::span<const std::uint8_t>(word, k),
-                std::span<std::uint8_t>(word, n));
-      for (std::size_t i = h; i < h_end; ++i) {
-        word[ws.hits[i].input_index - w * n] ^= ws.hits[i].flip;
-      }
-      const auto res = rs.decode(std::span<std::uint8_t>(word, n), ws.rs_scratch);
-      const bool data_ok =
-          res.ok && std::equal(ws.data.begin(), ws.data.end(), word);
-      if (data_ok) {
-        result.corrected_symbols += res.corrected_symbols;
-      } else {
-        ++failures;
-      }
-      h = h_end;
-    }
-    result.word_errors += failures;
-    result.frame_errors += failures != 0;
+    decode_streaming_frame(rs, words_per_frame, job_seed(data_root, f), word_rng,
+                           ws, result);
   }
   result.host_ns = perf::now_ns() - host_start;
   result.steady_allocations = config.frames > 1 ? alloc_scope.allocations() : 0;
   result.steady_frames = config.frames - 1;
   result.workspace_peak_bytes =
       ws.allocated_bytes() + (src != nullptr ? src->scratch_bytes() : 0);
+}
+
+/// DRAM stage shared by run_pipeline and combine_pipeline_slices: honored
+/// for every DRAM-resident interleaver. "block" is the SRAM stage-1
+/// structure and "none" buffers nothing, so asking for their DRAM phases
+/// is a configuration error, not a silent no-op.
+void run_dram_phase(const PipelineConfig& config, std::uint64_t side,
+                    PipelineResult& result) {
+  if (!config.run_dram) return;
+  if (!dram_resident_interleaver(config.interleaver)) {
+    throw std::invalid_argument(
+        "pipeline: run_dram requires a DRAM-resident interleaver "
+        "('triangular' or 'two-stage'); '" +
+        config.interleaver +
+        "' never touches DRAM — set run_dram = false for it");
+  }
+  if (config.device.name.empty()) {
+    throw std::invalid_argument("pipeline: run_dram requires a device");
+  }
+  RunConfig rc;
+  rc.device = config.device;
+  rc.mapping_spec = config.mapping_spec;
+  // The two-stage geometry is already burst-granular: its stage-2 side
+  // *is* the burst triangle. A symbol-level triangular frame is packed
+  // into bursts of the device's burst size first.
+  rc.side = config.interleaver == "two-stage"
+                ? side
+                : interleaver::burst_triangle_side(triangular_number(side),
+                                                   kChannelSymbolBits,
+                                                   config.device.burst_bytes);
+  rc.max_bursts_per_phase = config.dram_max_bursts_per_phase;
+  rc.check_protocol = config.check_protocol;
+  result.dram = run_interleaver(rc);
+  result.dram_ran = true;
+  result.dram_throughput_gbps = result.dram.throughput_gbps(config.device.burst_bytes);
 }
 
 }  // namespace
@@ -516,37 +566,7 @@ PipelineResult run_pipeline(const PipelineConfig& config,
     run_frames_materialized(config, rs, il, side, src.get(), result);
   }
 
-  // DRAM stage: honored for every DRAM-resident interleaver. "block" is
-  // the SRAM stage-1 structure and "none" buffers nothing, so asking for
-  // their DRAM phases is a configuration error, not a silent no-op.
-  if (config.run_dram) {
-    if (!dram_resident_interleaver(config.interleaver)) {
-      throw std::invalid_argument(
-          "pipeline: run_dram requires a DRAM-resident interleaver "
-          "('triangular' or 'two-stage'); '" +
-          config.interleaver +
-          "' never touches DRAM — set run_dram = false for it");
-    }
-    if (config.device.name.empty()) {
-      throw std::invalid_argument("pipeline: run_dram requires a device");
-    }
-    RunConfig rc;
-    rc.device = config.device;
-    rc.mapping_spec = config.mapping_spec;
-    // The two-stage geometry is already burst-granular: its stage-2 side
-    // *is* the burst triangle. A symbol-level triangular frame is packed
-    // into bursts of the device's burst size first.
-    rc.side = config.interleaver == "two-stage"
-                  ? side
-                  : interleaver::burst_triangle_side(triangular_number(side),
-                                                     kChannelSymbolBits,
-                                                     config.device.burst_bytes);
-    rc.max_bursts_per_phase = config.dram_max_bursts_per_phase;
-    rc.check_protocol = config.check_protocol;
-    result.dram = run_interleaver(rc);
-    result.dram_ran = true;
-    result.dram_throughput_gbps = result.dram.throughput_gbps(config.device.burst_bytes);
-  }
+  run_dram_phase(config, side, result);
   return result;
 }
 
@@ -557,6 +577,156 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   }
   const fec::ReedSolomon rs(config.rs_n, config.rs_k);
   return run_pipeline(config, rs);
+}
+
+bool pipeline_streams(const PipelineConfig& config) {
+  const std::uint64_t side = config.side != 0 ? config.side : config.rs_n;
+  return config.interleaver == "two-stage" || side != config.rs_n;
+}
+
+std::pair<std::uint64_t, std::uint64_t> stream_slice_range(std::uint64_t capacity,
+                                                           unsigned slice,
+                                                           unsigned num_slices) {
+  if (num_slices == 0 || slice >= num_slices) {
+    throw std::invalid_argument("stream_slice_range: slice out of range");
+  }
+  return {capacity * slice / num_slices, capacity * (slice + 1) / num_slices};
+}
+
+PipelineSliceResult run_pipeline_slice(const PipelineConfig& config, unsigned slice,
+                                       unsigned num_slices) {
+  if (num_slices == 0 || slice >= num_slices) {
+    throw std::invalid_argument("run_pipeline_slice: slice out of range");
+  }
+  if (config.frames == 0) {
+    throw std::invalid_argument("pipeline: frames must be > 0");
+  }
+  if (!pipeline_streams(config)) {
+    throw std::invalid_argument(
+        "run_pipeline_slice: intra-frame slicing requires the streaming "
+        "frame path (side != rs_n or the two-stage interleaver)");
+  }
+  if (!config.trace_record.empty() && num_slices > 1) {
+    throw std::invalid_argument(
+        "run_pipeline_slice: trace_record would capture a partial trace — "
+        "record with an unsliced run");
+  }
+  const std::uint64_t side = config.side != 0 ? config.side : config.rs_n;
+  const StreamInterleaver il(config.interleaver, side, config.symbols_per_burst);
+  if (il.capacity_symbols() < config.rs_n) {
+    throw std::invalid_argument("pipeline: side too small for one RS code word");
+  }
+  const auto src = make_source(config);
+  const std::uint64_t capacity = il.capacity_symbols();
+  const auto [lo, hi] = stream_slice_range(capacity, slice, num_slices);
+
+  PipelineSliceResult out;
+  out.slice = slice;
+  out.num_slices = num_slices;
+  out.frames = config.frames;
+  out.hits.reserve(4096);
+
+  const std::uint64_t host_start = perf::now_ns();
+  for (unsigned f = 0; f < config.frames; ++f) {
+    if (src == nullptr) continue;
+    out.channel_symbols += hi - lo;
+    const std::uint64_t frame_base = static_cast<std::uint64_t>(f) * capacity;
+    auto to_hit = [&out, &il, frame_base, f](const source::Corruption& e) {
+      out.hits.push_back({f, il.wire_to_input(e.wire_pos - frame_base), e.flip});
+    };
+    // The random-access events contract (counter-based skip-ahead) makes
+    // the jump from one frame's [lo, hi) to the next exact: the stream
+    // state at frame_base + lo is independent of who consumed the
+    // positions before it.
+    out.channel_symbol_errors += src->events(frame_base + lo, hi - lo, to_hit);
+  }
+  out.host_ns = perf::now_ns() - host_start;
+  out.workspace_peak_bytes = out.hits.capacity() * sizeof(StreamHit) +
+                             (src != nullptr ? src->scratch_bytes() : 0);
+  return out;
+}
+
+PipelineResult combine_pipeline_slices(const PipelineConfig& config,
+                                       const fec::ReedSolomon& rs,
+                                       std::vector<PipelineSliceResult> slices) {
+  if (rs.n() != config.rs_n || rs.k() != config.rs_k) {
+    throw std::invalid_argument("pipeline: codec does not match config");
+  }
+  if (slices.empty()) {
+    throw std::invalid_argument("combine_pipeline_slices: no slices");
+  }
+  std::sort(slices.begin(), slices.end(),
+            [](const PipelineSliceResult& a, const PipelineSliceResult& b) {
+              return a.slice < b.slice;
+            });
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    if (slices[s].slice != s || slices[s].num_slices != slices.size() ||
+        slices[s].frames != config.frames) {
+      throw std::invalid_argument(
+          "combine_pipeline_slices: slice set does not cover this config "
+          "(need one result per slice index)");
+    }
+  }
+  if (!pipeline_streams(config)) {
+    throw std::invalid_argument(
+        "combine_pipeline_slices: config is not on the streaming path");
+  }
+
+  const std::uint64_t side = config.side != 0 ? config.side : config.rs_n;
+  const StreamInterleaver il(config.interleaver, side, config.symbols_per_burst);
+  const unsigned n = rs.n();
+  const std::uint64_t capacity = il.capacity_symbols();
+  const std::uint64_t words_per_frame = capacity / n;
+  const std::uint64_t data_root = job_seed(config.seed, 0);
+  Rng word_rng;
+
+  PipelineResult result;
+  result.frames = config.frames;
+  result.frame_symbols = capacity;
+  for (const auto& s : slices) {
+    result.channel_symbols += s.channel_symbols;
+    result.channel_symbol_errors += s.channel_symbol_errors;
+    result.host_ns += s.host_ns;
+    result.workspace_peak_bytes =
+        std::max(result.workspace_peak_bytes, s.workspace_peak_bytes);
+  }
+
+  FrameWorkspace ws = FrameWorkspace::streaming(n, rs.k());
+  std::vector<std::size_t> cursor(slices.size(), 0);
+
+  const std::uint64_t host_start = perf::now_ns();
+  perf::AllocationScope alloc_scope;
+  for (unsigned f = 0; f < config.frames; ++f) {
+    if (f == 1) alloc_scope.restart();
+    // Concatenating the slices' per-frame events in slice order and
+    // sorting by input position reproduces exactly the list the unsliced
+    // source pass builds: the indices are a permutation of distinct wire
+    // positions, so the sort order is unique.
+    ws.hits.clear();
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+      const auto& sh = slices[s].hits;
+      std::size_t& c = cursor[s];
+      while (c < sh.size() && sh[c].frame == f) {
+        ws.hits.push_back({sh[c].input_index, sh[c].flip});
+        ++c;
+      }
+    }
+    std::sort(ws.hits.begin(), ws.hits.end(),
+              [](const ErrorHit& a, const ErrorHit& b) {
+                return a.input_index < b.input_index;
+              });
+    decode_streaming_frame(rs, words_per_frame, job_seed(data_root, f), word_rng,
+                           ws, result);
+  }
+  result.host_ns += perf::now_ns() - host_start;
+  result.steady_allocations =
+      config.frames > 1 ? alloc_scope.allocations() : 0;
+  result.steady_frames = config.frames - 1;
+  result.workspace_peak_bytes =
+      std::max(result.workspace_peak_bytes, ws.allocated_bytes());
+
+  run_dram_phase(config, side, result);
+  return result;
 }
 
 std::vector<FerRecord> run_fer_sweep(const SweepGrid& grid, const FerSweepOptions& options) {

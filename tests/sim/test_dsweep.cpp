@@ -465,5 +465,138 @@ TEST(DsweepFer, CellRecordRoundTripsThroughWireJson) {
   EXPECT_FALSE(back.result.dram_ran);
 }
 
+TEST(DsweepFer, SliceRecordRoundTripsThroughWireJson) {
+  Scenario s;
+  s.device = "LPDDR5-8533";
+  s.interleaver = "two-stage";
+  s.channel = "gilbert-elliott";
+  s.rs_k = 223;
+  s.symbols_per_burst = 16;
+  PipelineSliceResult r;
+  r.slice = 2;
+  r.num_slices = 4;
+  r.frames = 3;
+  r.channel_symbols = 1'000'000;
+  r.channel_symbol_errors = 2;
+  r.workspace_peak_bytes = 70000;
+  r.host_ns = 424242;
+  r.hits = {{0, 5, 0x80}, {2, 12'502'499, 0xFF}};
+
+  const Json wire = fer_slice_to_json(s, r);
+  const PipelineSliceResult back = fer_slice_from_json(Json::parse(wire.dump(0)));
+  EXPECT_EQ(back.slice, r.slice);
+  EXPECT_EQ(back.num_slices, r.num_slices);
+  EXPECT_EQ(back.frames, r.frames);
+  EXPECT_EQ(back.channel_symbols, r.channel_symbols);
+  EXPECT_EQ(back.channel_symbol_errors, r.channel_symbol_errors);
+  EXPECT_EQ(back.workspace_peak_bytes, r.workspace_peak_bytes);
+  EXPECT_EQ(back.host_ns, r.host_ns);
+  ASSERT_EQ(back.hits.size(), r.hits.size());
+  for (std::size_t i = 0; i < r.hits.size(); ++i) {
+    EXPECT_EQ(back.hits[i].frame, r.hits[i].frame);
+    EXPECT_EQ(back.hits[i].input_index, r.hits[i].input_index);
+    EXPECT_EQ(back.hits[i].flip, r.hits[i].flip);
+  }
+
+  // A torn hit array (not a multiple of the triplet width) must be
+  // rejected, not silently truncated.
+  Json torn = Json::parse(wire.dump(0));
+  Json::Array hits = torn.at("slice").at("hits").as_array();
+  hits.pop_back();
+  torn["slice"]["hits"] = Json(hits);
+  EXPECT_THROW(fer_slice_from_json(torn), std::invalid_argument);
+}
+
+TEST(DsweepFer, JobConfigOmitsSliceKeysWhenUnsliced) {
+  // frame_slices == 1 must leave the job config byte-identical to
+  // pre-slice drivers: the config feeds the run fingerprint, so adding
+  // the keys unconditionally would orphan every existing manifest.
+  SweepGrid grid;
+  grid.devices = {"LPDDR5-8533"};
+  FerSweepOptions options;
+  const Json unsliced = fer_job_config(grid, options);
+  EXPECT_FALSE(unsliced.contains("frame_slices"));
+  EXPECT_FALSE(unsliced.contains("base_seed"));
+  options.frame_slices = 4;
+  const Json sliced = fer_job_config(grid, options);
+  ASSERT_TRUE(sliced.contains("frame_slices"));
+  EXPECT_EQ(sliced.at("frame_slices").as_double(), 4.0);
+  // Json numbers are doubles; the 64-bit seed rides as a string.
+  EXPECT_EQ(sliced.at("base_seed").as_string(),
+            std::to_string(options.sweep.base_seed));
+}
+
+TEST(DsweepFer, PaperScaleFrameSplitsAcrossWorkersByteIdentical) {
+  // The tentpole's distribution payoff: one side-5000 streaming frame
+  // (25 M symbols) split into 4 intra-frame slices, run on 1, 2 and 4
+  // worker processes, must merge to the same record bytes regardless of
+  // worker count, and must match the in-process unsliced sweep on every
+  // field the slice API pins (everything but workspace_peak_bytes and
+  // host_ns).
+  SweepGrid grid;
+  grid.devices = {"LPDDR5-8533"};
+  grid.interleavers = {"two-stage"};
+  grid.channels = {"gilbert-elliott"};
+  grid.rs_ks = {223};
+
+  FerSweepOptions options;
+  options.sweep.threads = 2;
+  options.sweep.base_seed = 29;
+  options.base.frames = 1;
+  options.base.side = 5000;
+  options.base.symbols_per_burst = 2;
+  options.base.fade_fraction = 0.001;
+  options.base.mean_burst_symbols = 2000;
+  options.base.error_rate_bad = 0.8;
+  options.base.run_dram = false;
+
+  const auto reference = run_fer_sweep(grid, options);
+  ASSERT_EQ(reference.size(), 1u);
+  const auto& ref = reference[0].result;
+  ASSERT_GT(ref.channel_symbol_errors, 1000u);
+
+  options.frame_slices = 4;
+  std::vector<FerDistResult> runs;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    DsweepOptions dist;
+    dist.workers = workers;
+    dist.backoff_base_ms = 1;
+    runs.push_back(run_fer_sweep_dist(grid, options, dist));
+  }
+
+  for (std::size_t w = 0; w < runs.size(); ++w) {
+    ASSERT_EQ(runs[w].cells.size(), 1u);
+    ASSERT_TRUE(runs[w].done[0]);
+    const auto& got = runs[w].cells[0].result;
+    EXPECT_EQ(got.frames, ref.frames) << "run " << w;
+    EXPECT_EQ(got.code_words, ref.code_words) << "run " << w;
+    EXPECT_EQ(got.word_errors, ref.word_errors) << "run " << w;
+    EXPECT_EQ(got.frame_errors, ref.frame_errors) << "run " << w;
+    EXPECT_EQ(got.channel_symbol_errors, ref.channel_symbol_errors) << "run " << w;
+    EXPECT_EQ(got.corrected_symbols, ref.corrected_symbols) << "run " << w;
+    EXPECT_EQ(got.frame_symbols, ref.frame_symbols) << "run " << w;
+    EXPECT_EQ(got.channel_symbols, ref.channel_symbols) << "run " << w;
+    EXPECT_EQ(got.steady_allocations, ref.steady_allocations) << "run " << w;
+    EXPECT_EQ(got.dram_ran, ref.dram_ran) << "run " << w;
+    // PR 5 streaming bound: the sliced path may hold its own hit
+    // buffers, but never anything near the materialized triangle.
+    EXPECT_GT(got.workspace_peak_bytes, 0u) << "run " << w;
+    EXPECT_LT(got.workspace_peak_bytes, got.frame_symbols / 8) << "run " << w;
+  }
+
+  // Across worker counts the merged record is byte-identical including
+  // the workspace peak — only wall time may differ.
+  for (std::size_t w = 1; w < runs.size(); ++w) {
+    const auto& a = runs[0].cells[0].result;
+    const auto& b = runs[w].cells[0].result;
+    EXPECT_EQ(a.word_errors, b.word_errors);
+    EXPECT_EQ(a.frame_errors, b.frame_errors);
+    EXPECT_EQ(a.channel_symbol_errors, b.channel_symbol_errors);
+    EXPECT_EQ(a.corrected_symbols, b.corrected_symbols);
+    EXPECT_EQ(a.workspace_peak_bytes, b.workspace_peak_bytes);
+    EXPECT_EQ(a.steady_allocations, b.steady_allocations);
+  }
+}
+
 }  // namespace
 }  // namespace tbi::sim
